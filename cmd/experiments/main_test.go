@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"stemroot/internal/experiments"
+)
+
+func testCfg() experiments.Config {
+	cfg := experiments.Quick()
+	cfg.Reps = 1
+	return cfg
+}
+
+func TestRunExperimentsSingle(t *testing.T) {
+	var buf strings.Builder
+	if err := runExperiments(testCfg(), "table2", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"==== table2 ====", "rodinia", "casio", "huggingface"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExperimentsCommaList(t *testing.T) {
+	var buf strings.Builder
+	if err := runExperiments(testCfg(), "kkt,rootk", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "==== kkt ====") || !strings.Contains(out, "==== rootk ====") {
+		t.Fatalf("missing sections:\n%s", out)
+	}
+}
+
+func TestRunExperimentsSharedTable3(t *testing.T) {
+	// fig7 and fig8 both consume the lazily computed Table 3.
+	var buf strings.Builder
+	if err := runExperiments(testCfg(), "fig7,fig8", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "heartwall") {
+		t.Fatal("figure output missing workloads")
+	}
+}
+
+func TestRunExperimentsUnknownID(t *testing.T) {
+	var buf strings.Builder
+	err := runExperiments(testCfg(), "fig99", &buf)
+	if err == nil || !strings.Contains(err.Error(), "fig99") {
+		t.Fatalf("expected unknown-id error, got %v", err)
+	}
+}

@@ -1,0 +1,166 @@
+// Command stemroot builds a STEM+ROOT sampling plan from a kernel-level
+// profile CSV (columns: seq,name,time_us — the format benchgen emits and
+// any timeline profiler export can be converted to) and prints the plan:
+// clusters, sample sizes, predicted error, and the invocations to simulate.
+//
+// Usage:
+//
+//	stemroot -profile traces/bert_infer.rtx2080.csv -epsilon 0.05
+//	stemroot -profile huge.csv -stream -o plan.json
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+
+	"stemroot"
+	"stemroot/internal/trace"
+)
+
+// cliConfig carries the parsed flags.
+type cliConfig struct {
+	profilePath string
+	epsilon     float64
+	confidence  float64
+	seed        uint64
+	flat        bool
+	stream      bool
+	tdist       bool
+	planOut     string
+	verbose     bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stemroot: ")
+
+	var cfg cliConfig
+	flag.StringVar(&cfg.profilePath, "profile", "", "profile CSV (seq,name,time_us)")
+	flag.Float64Var(&cfg.epsilon, "epsilon", 0.05, "target relative error bound")
+	flag.Float64Var(&cfg.confidence, "confidence", 0.95, "confidence level")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "sampling seed")
+	flag.BoolVar(&cfg.flat, "flat", false, "disable ROOT's hierarchical splitting")
+	flag.BoolVar(&cfg.stream, "stream", false, "two-pass streaming mode (bounded memory, for huge profiles)")
+	flag.BoolVar(&cfg.tdist, "tdist", false, "Student-t small-sample correction")
+	flag.StringVar(&cfg.planOut, "o", "", "write the sampling plan as JSON to this path")
+	flag.BoolVar(&cfg.verbose, "v", false, "print every cluster")
+	flag.Parse()
+
+	if err := run(cfg, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(cfg cliConfig, out io.Writer) error {
+	if cfg.profilePath == "" {
+		return errors.New("missing -profile")
+	}
+	opts := stemroot.Options{
+		Epsilon:      cfg.epsilon,
+		Confidence:   cfg.confidence,
+		Seed:         cfg.seed,
+		Flat:         cfg.flat,
+		SmallSampleT: cfg.tdist,
+	}
+
+	var (
+		plan  *stemroot.Plan
+		times []float64
+	)
+	if cfg.stream {
+		scanner := trace.CSVScanner{Path: cfg.profilePath}
+		p, err := stemroot.SampleStream(scanner, opts, stemroot.StreamOptions{})
+		if err != nil {
+			return err
+		}
+		plan = p
+		// Times are still needed for the report; stream them once more.
+		if err := scanner.Scan(func(_ string, t float64) bool {
+			times = append(times, t)
+			return true
+		}); err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Open(cfg.profilePath)
+		if err != nil {
+			return err
+		}
+		var names []string
+		names, times, err = trace.ReadProfileCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		plan, err = stemroot.Sample(names, times, opts)
+		if err != nil {
+			return err
+		}
+	}
+
+	if cfg.planOut != "" {
+		f, err := os.Create(cfg.planOut)
+		if err != nil {
+			return err
+		}
+		if err := plan.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "plan written to %s\n", cfg.planOut)
+	}
+
+	var total float64
+	for _, t := range times {
+		total += t
+	}
+	distinct := plan.SampledIndices()
+	var sampledTime float64
+	for _, ix := range distinct {
+		sampledTime += times[ix]
+	}
+
+	fmt.Fprintf(out, "invocations:      %d\n", len(times))
+	fmt.Fprintf(out, "clusters:         %d\n", len(plan.Clusters))
+	fmt.Fprintf(out, "samples (w/repl): %d\n", plan.TotalSamples())
+	fmt.Fprintf(out, "distinct samples: %d\n", len(distinct))
+	fmt.Fprintf(out, "predicted error:  %.4f (bound %.2f)\n", plan.PredictedError, plan.Epsilon)
+	if sampledTime > 0 {
+		fmt.Fprintf(out, "expected speedup: %.1fx\n", total/sampledTime)
+	}
+
+	if cfg.verbose {
+		sort.Slice(plan.Clusters, func(i, j int) bool {
+			return totalTime(plan.Clusters[i]) > totalTime(plan.Clusters[j])
+		})
+		fmt.Fprintln(out, "\nclusters (by total time):")
+		for _, c := range plan.Clusters {
+			fmt.Fprintf(out, "  %-32s members=%-7d samples=%-5d mean=%10.2fus cov=%.3f\n",
+				c.Kernel, len(c.Members), len(c.Samples), c.Mean, cov(c))
+		}
+	}
+	return nil
+}
+
+func totalTime(c stemroot.Cluster) float64 {
+	n := len(c.Members)
+	if n == 0 { // streaming plans carry the population in the weight
+		n = int(c.Weight*float64(len(c.Samples)) + 0.5)
+	}
+	return c.Mean * float64(n)
+}
+
+func cov(c stemroot.Cluster) float64 {
+	if c.Mean == 0 {
+		return 0
+	}
+	return c.StdDev / c.Mean
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stemroot"
+	"stemroot/internal/rng"
+)
+
+// writeProfile emits a synthetic profile CSV with two well-separated gemm
+// contexts and a stable relu.
+func writeProfile(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "profile.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "seq,name,time_us")
+	r := rng.New(5)
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			fmt.Fprintf(f, "%d,gemm,%g\n", i, 100*(1+0.02*r.NormFloat64()))
+		case 1:
+			fmt.Fprintf(f, "%d,gemm,%g\n", i, 300*(1+0.02*r.NormFloat64()))
+		default:
+			fmt.Fprintf(f, "%d,relu,%g\n", i, 5*(1+0.01*r.NormFloat64()))
+		}
+	}
+	return path
+}
+
+func baseCfg(profile string) cliConfig {
+	return cliConfig{
+		profilePath: profile,
+		epsilon:     0.05,
+		confidence:  0.95,
+		seed:        1,
+	}
+}
+
+func TestRunInMemory(t *testing.T) {
+	cfg := baseCfg(writeProfile(t, 3000))
+	cfg.verbose = true
+	var buf strings.Builder
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"invocations:      3000", "clusters:", "gemm", "expected speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStreamingMatches(t *testing.T) {
+	profile := writeProfile(t, 3000)
+	var mem, str strings.Builder
+	if err := run(baseCfg(profile), &mem); err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseCfg(profile)
+	cfg.stream = true
+	if err := run(cfg, &str); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(str.String(), "invocations:      3000") {
+		t.Fatalf("streaming output wrong:\n%s", str.String())
+	}
+}
+
+func TestRunWritesPlanJSON(t *testing.T) {
+	profile := writeProfile(t, 1500)
+	planPath := filepath.Join(t.TempDir(), "plan.json")
+	cfg := baseCfg(profile)
+	cfg.planOut = planPath
+	var buf strings.Builder
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	plan, err := stemroot.ReadPlanJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Clusters) == 0 {
+		t.Fatal("empty plan written")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run(cliConfig{}, &buf); err == nil {
+		t.Fatal("expected missing-profile error")
+	}
+	cfg := baseCfg("/nonexistent/profile.csv")
+	if err := run(cfg, &buf); err == nil {
+		t.Fatal("expected open error")
+	}
+	cfg = baseCfg(writeProfile(t, 100))
+	cfg.epsilon = 7
+	if err := run(cfg, &buf); err == nil {
+		t.Fatal("expected epsilon validation error")
+	}
+}
+
+func TestRunTDistFlag(t *testing.T) {
+	cfg := baseCfg(writeProfile(t, 2000))
+	cfg.tdist = true
+	var buf strings.Builder
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "predicted error") {
+		t.Fatal("missing summary")
+	}
+}

@@ -1,0 +1,69 @@
+// Quickstart: build a STEM+ROOT sampling plan from a kernel-level profile
+// and extrapolate the workload's total execution time from a handful of
+// simulated kernels.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"stemroot"
+	"stemroot/internal/rng"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A synthetic profile of 30,000 kernel invocations, the kind a
+	// timeline profiler (Nsight Systems) emits for an ML workload:
+	//   - "gemm" runs in two usage contexts -> two distinct time peaks,
+	//   - "max_pool" is memory-bound -> wide, jittery distribution,
+	//   - "relu" is short and extremely stable.
+	r := rng.New(7)
+	var names []string
+	var times []float64
+	for i := 0; i < 10000; i++ {
+		names = append(names, "gemm")
+		if i%3 == 0 {
+			times = append(times, 310*(1+0.03*r.NormFloat64()))
+		} else {
+			times = append(times, 120*(1+0.03*r.NormFloat64()))
+		}
+		names = append(names, "max_pool")
+		times = append(times, 45*math.Exp(0.35*r.NormFloat64()))
+		names = append(names, "relu")
+		times = append(times, 4*(1+0.01*r.NormFloat64()))
+	}
+
+	// Build the sampling plan: ε = 5% error bound at 95% confidence.
+	plan, err := stemroot.Sample(names, times, stemroot.Options{Epsilon: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("invocations:       %d\n", len(times))
+	fmt.Printf("clusters found:    %d\n", len(plan.Clusters))
+	for _, c := range plan.Clusters {
+		fmt.Printf("  %-10s members=%-6d samples=%-4d mean=%8.1fus\n",
+			c.Kernel, len(c.Members), len(c.Samples), c.Mean)
+	}
+	fmt.Printf("distinct to simulate: %d (%.2f%% of workload)\n",
+		len(plan.SampledIndices()),
+		100*float64(len(plan.SampledIndices()))/float64(len(times)))
+	fmt.Printf("predicted error bound: %.3f%%\n", plan.PredictedError*100)
+
+	// "Simulate" the sampled kernels — here we just look their times up
+	// again; in a real deployment this is the cycle-level simulator run.
+	estimate := plan.Estimate(func(i int) float64 { return times[i] })
+
+	var truth float64
+	for _, t := range times {
+		truth += t
+	}
+	fmt.Printf("true total:      %.0f us\n", truth)
+	fmt.Printf("estimated total: %.0f us\n", estimate)
+	fmt.Printf("actual error:    %.3f%%\n", 100*math.Abs(estimate-truth)/truth)
+}

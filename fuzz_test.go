@@ -1,0 +1,74 @@
+package stemroot
+
+import (
+	"math"
+	"testing"
+
+	"stemroot/internal/rng"
+)
+
+// FuzzSample feeds randomized profiles to the public API and checks the
+// invariants every accepted plan must satisfy: full coverage, weights
+// consistent with cluster populations, and an estimate within the error
+// bound when evaluated against its own profile.
+func FuzzSample(f *testing.F) {
+	f.Add(uint64(1), 500, 3)
+	f.Add(uint64(7), 50, 1)
+	f.Add(uint64(42), 2000, 5)
+	f.Fuzz(func(t *testing.T, seed uint64, n, kinds int) {
+		if n <= 0 || n > 5000 || kinds <= 0 || kinds > 16 {
+			t.Skip()
+		}
+		r := rng.New(seed)
+		names := make([]string, n)
+		times := make([]float64, n)
+		letters := "abcdefghijklmnop"
+		for i := range names {
+			k := r.Intn(kinds)
+			names[i] = letters[k : k+1]
+			base := float64(1+k) * 10
+			if r.Float64() < 0.3 {
+				base *= 4 // second context
+			}
+			times[i] = base * math.Exp(0.1*r.NormFloat64())
+		}
+
+		plan, err := Sample(names, times, Options{Seed: seed})
+		if err != nil {
+			t.Fatalf("valid profile rejected: %v", err)
+		}
+		seen := make(map[int]bool)
+		for _, c := range plan.Clusters {
+			for _, m := range c.Members {
+				if m < 0 || m >= n || seen[m] {
+					t.Fatal("bad cluster membership")
+				}
+				seen[m] = true
+			}
+			if len(c.Samples) > 0 && c.Weight <= 0 {
+				t.Fatal("sampled cluster with non-positive weight")
+			}
+			for _, s := range c.Samples {
+				if s < 0 || s >= n {
+					t.Fatal("sample index out of range")
+				}
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("clusters cover %d of %d", len(seen), n)
+		}
+
+		var truth float64
+		for _, v := range times {
+			truth += v
+		}
+		est := plan.Estimate(func(i int) float64 { return times[i] })
+		if truth > 0 {
+			// Allow 3x the bound: a fuzz case is a single draw at 95%
+			// confidence, and tiny n makes the CLT approximation loose.
+			if rel := math.Abs(est-truth) / truth; rel > 3*plan.Epsilon {
+				t.Fatalf("error %v far exceeds bound %v (n=%d)", rel, plan.Epsilon, n)
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module stemroot
+
+go 1.22

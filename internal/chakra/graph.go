@@ -1,0 +1,142 @@
+// Package chakra implements a Chakra-style execution trace (ET) model for
+// multi-GPU workloads — the paper's §6.2 future-work direction: "using
+// Chakra ET, which is a standard method of representing multi-device ML
+// workloads with a DAG of operations and dependencies. Node and edge
+// sampling on such DAG-style ETs would be a decent starting point."
+//
+// An ET is a DAG whose nodes are per-rank compute kernels and cross-rank
+// collective communications; edges are data/control dependencies. The
+// package provides the graph model, validation, topological iteration, and
+// a synthetic generator for data-parallel training traces with
+// computation-communication overlap.
+package chakra
+
+import (
+	"errors"
+	"fmt"
+
+	"stemroot/internal/trace"
+)
+
+// NodeKind distinguishes ET node types.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	// Compute is a kernel execution on one rank.
+	Compute NodeKind = iota
+	// AllReduce is a collective over all ranks (gradient reduction).
+	AllReduce
+	// AllGather is a collective over all ranks (weight gathering).
+	AllGather
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case AllReduce:
+		return "allreduce"
+	case AllGather:
+		return "allgather"
+	}
+	return "unknown"
+}
+
+// IsComm reports whether the kind is a communication collective.
+func (k NodeKind) IsComm() bool { return k != Compute }
+
+// Node is one ET operation.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	// Rank is the executing device for Compute nodes; collectives involve
+	// every rank and carry Rank = -1.
+	Rank int
+	// Name labels the operation (kernel symbol or collective bucket).
+	Name string
+	// Inv carries the compute node's kernel invocation (latent behaviour
+	// included), nil for collectives.
+	Inv *trace.Invocation
+	// CommBytes is the payload size for collectives.
+	CommBytes int64
+	// Deps are IDs of nodes that must complete first.
+	Deps []int
+}
+
+// Graph is an execution trace.
+type Graph struct {
+	Ranks int
+	Nodes []Node
+}
+
+// Validate checks ID consistency, dependency ranges, and acyclicity
+// (nodes must be topologically ordered by ID, the form the generator emits
+// and the simulator requires).
+func (g *Graph) Validate() error {
+	if g.Ranks <= 0 {
+		return errors.New("chakra: graph needs at least one rank")
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.ID != i {
+			return fmt.Errorf("chakra: node %d has ID %d", i, n.ID)
+		}
+		switch {
+		case n.Kind == Compute && (n.Rank < 0 || n.Rank >= g.Ranks):
+			return fmt.Errorf("chakra: compute node %d has rank %d of %d", i, n.Rank, g.Ranks)
+		case n.Kind == Compute && n.Inv == nil:
+			return fmt.Errorf("chakra: compute node %d lacks an invocation", i)
+		case n.Kind.IsComm() && n.CommBytes <= 0:
+			return fmt.Errorf("chakra: comm node %d has %d bytes", i, n.CommBytes)
+		}
+		for _, d := range n.Deps {
+			if d < 0 || d >= i {
+				return fmt.Errorf("chakra: node %d depends on %d (not topologically ordered)", i, d)
+			}
+		}
+	}
+	return nil
+}
+
+// ComputeNodes returns the IDs of all compute nodes.
+func (g *Graph) ComputeNodes() []int {
+	var out []int
+	for i := range g.Nodes {
+		if g.Nodes[i].Kind == Compute {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CommNodes returns the IDs of all collective nodes.
+func (g *Graph) CommNodes() []int {
+	var out []int
+	for i := range g.Nodes {
+		if g.Nodes[i].Kind.IsComm() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CriticalPathLen returns the number of nodes on the longest dependency
+// chain — a cheap structural statistic used in tests.
+func (g *Graph) CriticalPathLen() int {
+	depth := make([]int, len(g.Nodes))
+	best := 0
+	for i := range g.Nodes {
+		d := 1
+		for _, dep := range g.Nodes[i].Deps {
+			if depth[dep]+1 > d {
+				d = depth[dep] + 1
+			}
+		}
+		depth[i] = d
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}

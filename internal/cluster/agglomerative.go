@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// Agglomerative performs bottom-up hierarchical clustering with centroid
+// linkage, stopping either at k clusters (k > 0) or when the next merge
+// distance exceeds cutoff (cutoff > 0; pass k = 0). TBPoint clusters kernel
+// feature vectors this way before sampling the member nearest each
+// centroid.
+//
+// Complexity is O(n² log n) via a lazy-deletion merge heap; callers are
+// expected to subsample very large inputs (AssignToNearest extends the
+// clustering to the full set).
+func Agglomerative(points [][]float64, k int, cutoff float64) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("cluster: no points")
+	}
+	if k <= 0 && cutoff <= 0 {
+		return nil, errors.New("cluster: need a target k or a distance cutoff")
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, errors.New("cluster: inconsistent dimensionality")
+		}
+	}
+
+	// Active clusters: centroid, member count, version for lazy deletion.
+	type clust struct {
+		centroid []float64
+		size     int
+		version  int
+		alive    bool
+	}
+	clusters := make([]clust, n)
+	parent := make([]int, n) // union-find to recover assignments
+	for i, p := range points {
+		c := append(make([]float64, 0, dim), p...)
+		clusters[i] = clust{centroid: c, size: 1, alive: true}
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	h := &edgeHeap{}
+	push := func(a, b int) {
+		d := math.Sqrt(sqDist(clusters[a].centroid, clusters[b].centroid))
+		heap.Push(h, edge{d: d, a: a, b: b, va: clusters[a].version, vb: clusters[b].version})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			push(i, j)
+		}
+	}
+
+	remaining := n
+	target := k
+	if target <= 0 {
+		target = 1
+	}
+	for remaining > target && h.Len() > 0 {
+		e := heap.Pop(h).(edge)
+		a, b := e.a, e.b
+		if !clusters[a].alive || !clusters[b].alive ||
+			clusters[a].version != e.va || clusters[b].version != e.vb {
+			continue // stale edge
+		}
+		if k <= 0 && e.d > cutoff {
+			break
+		}
+		// Merge b into a (weighted centroid).
+		ca, cb := &clusters[a], &clusters[b]
+		total := float64(ca.size + cb.size)
+		for d := 0; d < dim; d++ {
+			ca.centroid[d] = (ca.centroid[d]*float64(ca.size) + cb.centroid[d]*float64(cb.size)) / total
+		}
+		ca.size += cb.size
+		ca.version++
+		cb.alive = false
+		parent[find(b)] = find(a)
+		remaining--
+		for j := 0; j < n; j++ {
+			if j != a && clusters[j].alive {
+				push(a, j)
+			}
+		}
+	}
+
+	// Compact to a Result.
+	label := make(map[int]int)
+	res := &Result{Assignment: make([]int, n)}
+	for i := 0; i < n; i++ {
+		root := find(i)
+		id, ok := label[root]
+		if !ok {
+			id = len(label)
+			label[root] = id
+			res.Centroids = append(res.Centroids, clusters[root].centroid)
+		}
+		res.Assignment[i] = id
+	}
+	res.K = len(label)
+	for i, p := range points {
+		res.Inertia += sqDist(p, res.Centroids[res.Assignment[i]])
+	}
+	return res, nil
+}
+
+// edge is a candidate merge between two live clusters; va/vb are the
+// cluster versions at push time, enabling lazy deletion of stale entries.
+type edge struct {
+	d      float64
+	a, b   int
+	va, vb int
+}
+
+type edgeHeap []edge
+
+func (h edgeHeap) Len() int            { return len(h) }
+func (h edgeHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h edgeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *edgeHeap) Push(x interface{}) { *h = append(*h, x.(edge)) }
+func (h *edgeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// AssignToNearest maps each point to the index of its nearest centroid —
+// used to extend a clustering computed on a subsample to the full data.
+func AssignToNearest(points [][]float64, centroids [][]float64) []int {
+	out := make([]int, len(points))
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for j, c := range centroids {
+			if d := sqDist(p, c); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

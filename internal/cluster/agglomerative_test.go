@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"testing"
+
+	"stemroot/internal/rng"
+)
+
+func TestAgglomerativeSeparatesBlobs(t *testing.T) {
+	pts, truth := twoBlobs(60, 21)
+	res, err := Agglomerative(pts, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("k = %d", res.K)
+	}
+	match, swapped := 0, 0
+	for i, a := range res.Assignment {
+		if a == truth[i] {
+			match++
+		} else {
+			swapped++
+		}
+	}
+	if match != len(pts) && swapped != len(pts) {
+		t.Fatalf("blobs not separated: %d/%d", match, len(pts))
+	}
+}
+
+func TestAgglomerativeCutoff(t *testing.T) {
+	pts, _ := twoBlobs(40, 22)
+	// A cutoff far below the inter-blob distance (~14) but above
+	// intra-blob spread must stop at exactly two clusters.
+	res, err := Agglomerative(pts, 0, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("cutoff clustering found %d clusters, want 2", res.K)
+	}
+}
+
+func TestAgglomerativeKEqualsN(t *testing.T) {
+	pts := [][]float64{{1}, {2}, {3}}
+	res, err := Agglomerative(pts, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 || res.Inertia != 0 {
+		t.Fatalf("k=n should be exact: k=%d inertia=%v", res.K, res.Inertia)
+	}
+}
+
+func TestAgglomerativeErrors(t *testing.T) {
+	if _, err := Agglomerative(nil, 2, 0); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	if _, err := Agglomerative([][]float64{{1}}, 0, 0); err == nil {
+		t.Fatal("expected error without k or cutoff")
+	}
+	if _, err := Agglomerative([][]float64{{1}, {1, 2}}, 1, 0); err == nil {
+		t.Fatal("expected error for inconsistent dims")
+	}
+}
+
+func TestAgglomerativeAssignmentValid(t *testing.T) {
+	r := rng.New(23)
+	pts := make([][]float64, 120)
+	for i := range pts {
+		pts[i] = []float64{r.NormFloat64(), r.NormFloat64()}
+	}
+	res, err := Agglomerative(pts, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 5 {
+		t.Fatalf("k = %d exceeds target", res.K)
+	}
+	counts := make([]int, res.K)
+	for _, a := range res.Assignment {
+		if a < 0 || a >= res.K {
+			t.Fatalf("assignment %d out of range", a)
+		}
+		counts[a]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("cluster %d empty", i)
+		}
+	}
+}
+
+func TestAssignToNearest(t *testing.T) {
+	centroids := [][]float64{{0, 0}, {10, 10}}
+	pts := [][]float64{{1, 1}, {9, 9}, {-1, 0}}
+	got := AssignToNearest(pts, centroids)
+	if got[0] != 0 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("assignment = %v", got)
+	}
+}

@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stemroot/internal/rng"
+)
+
+func twoBlobs(n int, seed uint64) ([][]float64, []int) {
+	r := rng.New(seed)
+	pts := make([][]float64, 0, 2*n)
+	truth := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, []float64{r.NormFloat64() * 0.5, r.NormFloat64() * 0.5})
+		truth = append(truth, 0)
+		pts = append(pts, []float64{10 + r.NormFloat64()*0.5, 10 + r.NormFloat64()*0.5})
+		truth = append(truth, 1)
+	}
+	return pts, truth
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	pts, truth := twoBlobs(100, 1)
+	res, err := KMeans(pts, 2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Assignments must perfectly match ground truth up to label swap.
+	match, swapped := 0, 0
+	for i, a := range res.Assignment {
+		if a == truth[i] {
+			match++
+		} else {
+			swapped++
+		}
+	}
+	if match != len(pts) && swapped != len(pts) {
+		t.Fatalf("blobs not separated: %d direct, %d swapped of %d", match, swapped, len(pts))
+	}
+}
+
+func TestKMeans1DBimodal(t *testing.T) {
+	r := rng.New(2)
+	var vals []float64
+	for i := 0; i < 200; i++ {
+		vals = append(vals, 5+r.NormFloat64()*0.2, 50+r.NormFloat64()*0.2)
+	}
+	res, err := KMeans1D(vals, 2, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := res.Groups()
+	if len(groups) != 2 {
+		t.Fatalf("expected 2 groups, got %d", len(groups))
+	}
+	if len(groups[0]) != 200 || len(groups[1]) != 200 {
+		t.Fatalf("uneven split: %d / %d", len(groups[0]), len(groups[1]))
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 2, Options{}); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if _, err := KMeans([][]float64{{1}}, 0, Options{}); err == nil {
+		t.Fatal("expected error on k=0")
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, 1, Options{}); err == nil {
+		t.Fatal("expected error on inconsistent dims")
+	}
+}
+
+func TestKMeansKExceedsN(t *testing.T) {
+	pts := [][]float64{{1}, {2}, {3}}
+	res, err := KMeans(pts, 10, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 {
+		t.Fatalf("k should clamp to n=3, got %d", res.K)
+	}
+	if res.Inertia > 1e-9 {
+		t.Fatalf("k=n should give zero inertia, got %v", res.Inertia)
+	}
+}
+
+func TestKMeansInvariants(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(100)
+		k := 1 + r.Intn(5)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{r.NormFloat64(), r.NormFloat64()}
+		}
+		res, err := KMeans(pts, k, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		// Every point assigned to a valid cluster; inertia non-negative;
+		// every point's assigned centroid is its nearest centroid.
+		if len(res.Assignment) != n || res.Inertia < 0 {
+			return false
+		}
+		for i, a := range res.Assignment {
+			if a < 0 || a >= res.K {
+				return false
+			}
+			da := sqDist(pts[i], res.Centroids[a])
+			for _, c := range res.Centroids {
+				if sqDist(pts[i], c) < da-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	pts, _ := twoBlobs(50, 4)
+	a, _ := KMeans(pts, 3, Options{Seed: 7})
+	b, _ := KMeans(pts, 3, Options{Seed: 7})
+	if a.Inertia != b.Inertia {
+		t.Fatal("same seed gave different inertia")
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatal("same seed gave different assignment")
+		}
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	pts := make([][]float64, 20)
+	for i := range pts {
+		pts[i] = []float64{3, 3}
+	}
+	res, err := KMeans(pts, 4, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("identical points should have zero inertia, got %v", res.Inertia)
+	}
+}
+
+func TestGroupsPartition(t *testing.T) {
+	pts, _ := twoBlobs(30, 6)
+	res, _ := KMeans(pts, 3, Options{Seed: 6})
+	groups := res.Groups()
+	seen := make(map[int]bool)
+	for _, g := range groups {
+		if len(g) == 0 {
+			t.Fatal("Groups returned empty group")
+		}
+		for _, i := range g {
+			if seen[i] {
+				t.Fatalf("index %d in two groups", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != len(pts) {
+		t.Fatalf("groups cover %d of %d points", len(seen), len(pts))
+	}
+}
+
+func TestSilhouetteWellSeparated(t *testing.T) {
+	pts, truth := twoBlobs(50, 7)
+	s := Silhouette(pts, truth, 2)
+	if s < 0.9 {
+		t.Fatalf("well-separated blobs silhouette = %v, want > 0.9", s)
+	}
+	// Random assignment should score much worse.
+	r := rng.New(8)
+	randAsn := make([]int, len(pts))
+	for i := range randAsn {
+		randAsn[i] = r.Intn(2)
+	}
+	if sr := Silhouette(pts, randAsn, 2); sr >= s {
+		t.Fatalf("random assignment silhouette %v >= true %v", sr, s)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	if Silhouette(nil, nil, 2) != 0 {
+		t.Fatal("empty silhouette should be 0")
+	}
+	if Silhouette([][]float64{{1}, {2}}, []int{0, 0}, 1) != 0 {
+		t.Fatal("k=1 silhouette should be 0")
+	}
+}
+
+func TestSweepKFindsTwo(t *testing.T) {
+	pts, _ := twoBlobs(60, 9)
+	res, err := SweepK(pts, 1, 6, Options{Seed: 9}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("sweep chose k=%d for two blobs", res.K)
+	}
+}
+
+func TestSweepKSubsampled(t *testing.T) {
+	pts, _ := twoBlobs(300, 10)
+	res, err := SweepK(pts, 1, 5, Options{Seed: 10}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("subsampled sweep chose k=%d", res.K)
+	}
+}
+
+func TestPCARecoversDominantAxis(t *testing.T) {
+	// Points on a line y = 2x with small orthogonal noise: the first
+	// principal component must align with (1,2)/sqrt(5).
+	r := rng.New(11)
+	pts := make([][]float64, 500)
+	for i := range pts {
+		tt := r.NormFloat64() * 5
+		noise := r.NormFloat64() * 0.01
+		pts[i] = []float64{tt - 2*noise, 2*tt + noise}
+	}
+	p, err := FitPCA(pts, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Components[0]
+	want := []float64{1 / math.Sqrt(5), 2 / math.Sqrt(5)}
+	dot := c[0]*want[0] + c[1]*want[1]
+	if math.Abs(math.Abs(dot)-1) > 1e-3 {
+		t.Fatalf("first PC %v misaligned with %v (|dot|=%v)", c, want, math.Abs(dot))
+	}
+}
+
+func TestPCAVariancesDecreasing(t *testing.T) {
+	r := rng.New(12)
+	pts := make([][]float64, 300)
+	for i := range pts {
+		pts[i] = []float64{r.NormFloat64() * 10, r.NormFloat64() * 3, r.NormFloat64()}
+	}
+	p, err := FitPCA(pts, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(p.Variances); i++ {
+		if p.Variances[i] > p.Variances[i-1]+1e-9 {
+			t.Fatalf("variances not decreasing: %v", p.Variances)
+		}
+	}
+}
+
+func TestPCATransformDimension(t *testing.T) {
+	r := rng.New(13)
+	pts := make([][]float64, 50)
+	for i := range pts {
+		pts[i] = []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+	}
+	p, err := FitPCA(pts, 2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.TransformAll(pts)
+	if len(out) != 50 || len(out[0]) != len(p.Components) {
+		t.Fatalf("bad transform shape: %d x %d", len(out), len(out[0]))
+	}
+}
+
+func TestPCAZeroVariance(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	p, err := FitPCA(pts, 2, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Components) != 1 || p.Variances[0] != 0 {
+		t.Fatalf("zero-variance data should yield one zero-variance axis, got %d comps", len(p.Components))
+	}
+	if got := p.Transform([]float64{1, 1}); got[0] != 0 {
+		t.Fatalf("transform of mean should be 0, got %v", got)
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	if _, err := FitPCA(nil, 1, 0); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func BenchmarkKMeans1D(b *testing.B) {
+	r := rng.New(1)
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans1D(vals, 2, Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

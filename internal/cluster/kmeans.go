@@ -1,0 +1,234 @@
+// Package cluster implements the clustering substrate: k-means with
+// k-means++ seeding (in one and many dimensions), silhouette scoring, and
+// principal component analysis.
+//
+// ROOT (paper §3.4) recursively applies 1-D k-means (k=2) to kernel
+// execution times; the PKA baseline applies N-D k-means over 12
+// instruction-level metrics with a k sweep; Photon reduces basic-block
+// vectors with PCA before comparing them.
+package cluster
+
+import (
+	"errors"
+	"math"
+
+	"stemroot/internal/rng"
+)
+
+// Result holds a k-means clustering outcome.
+type Result struct {
+	K          int
+	Assignment []int       // Assignment[i] is the cluster index of point i
+	Centroids  [][]float64 // K centroids
+	Inertia    float64     // total within-cluster sum of squared distances
+	Iterations int
+}
+
+// Options configures KMeans.
+type Options struct {
+	MaxIter int     // maximum Lloyd iterations (default 100)
+	Tol     float64 // relative inertia improvement to keep iterating (default 1e-6)
+	Seed    uint64  // RNG seed for k-means++ initialization
+	Restart int     // number of random restarts, best inertia wins (default 1)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.Restart <= 0 {
+		o.Restart = 1
+	}
+	return o
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// KMeans clusters points into k groups with Lloyd's algorithm seeded by
+// k-means++. All points must share one dimensionality. When k >= len(points)
+// every point becomes its own cluster.
+func KMeans(points [][]float64, k int, opts Options) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("cluster: no points")
+	}
+	if k <= 0 {
+		return nil, errors.New("cluster: k must be positive")
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, errors.New("cluster: inconsistent dimensionality")
+		}
+	}
+	if k > n {
+		k = n
+	}
+	opts = opts.withDefaults()
+	r := rng.New(opts.Seed)
+
+	var best *Result
+	for restart := 0; restart < opts.Restart; restart++ {
+		res := kmeansOnce(points, k, opts, r.Split())
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func kmeansOnce(points [][]float64, k int, opts Options, r *rng.Rand) *Result {
+	n := len(points)
+	dim := len(points[0])
+	centroids := plusPlusInit(points, k, r)
+	assign := make([]int, n)
+	counts := make([]int, k)
+	prevInertia := math.Inf(1)
+	iters := 0
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		iters = iter + 1
+		// Assignment step.
+		inertia := 0.0
+		for i, p := range points {
+			bestJ, bestD := 0, math.Inf(1)
+			for j, c := range centroids {
+				if d := sqDist(p, c); d < bestD {
+					bestJ, bestD = j, d
+				}
+			}
+			assign[i] = bestJ
+			inertia += bestD
+		}
+		// Update step.
+		for j := range centroids {
+			for d := 0; d < dim; d++ {
+				centroids[j][d] = 0
+			}
+			counts[j] = 0
+		}
+		for i, p := range points {
+			j := assign[i]
+			counts[j]++
+			for d := 0; d < dim; d++ {
+				centroids[j][d] += p[d]
+			}
+		}
+		for j := range centroids {
+			if counts[j] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid to keep k populated clusters.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := sqDist(p, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[j], points[far])
+				continue
+			}
+			inv := 1 / float64(counts[j])
+			for d := 0; d < dim; d++ {
+				centroids[j][d] *= inv
+			}
+		}
+		if prevInertia-inertia <= opts.Tol*math.Max(prevInertia, 1e-300) {
+			prevInertia = inertia
+			break
+		}
+		prevInertia = inertia
+	}
+
+	// Final assignment against the last centroids.
+	inertia := 0.0
+	for i, p := range points {
+		bestJ, bestD := 0, math.Inf(1)
+		for j, c := range centroids {
+			if d := sqDist(p, c); d < bestD {
+				bestJ, bestD = j, d
+			}
+		}
+		assign[i] = bestJ
+		inertia += bestD
+	}
+	return &Result{K: k, Assignment: assign, Centroids: centroids, Inertia: inertia, Iterations: iters}
+}
+
+// plusPlusInit chooses k initial centroids with the k-means++ scheme: the
+// first uniformly, each subsequent one with probability proportional to its
+// squared distance from the nearest chosen centroid.
+func plusPlusInit(points [][]float64, k int, r *rng.Rand) [][]float64 {
+	n := len(points)
+	dim := len(points[0])
+	centroids := make([][]float64, 0, k)
+	first := append(make([]float64, 0, dim), points[r.Intn(n)]...)
+	centroids = append(centroids, first)
+
+	dist := make([]float64, n)
+	for i, p := range points {
+		dist[i] = sqDist(p, centroids[0])
+	}
+	for len(centroids) < k {
+		total := 0.0
+		for _, d := range dist {
+			total += d
+		}
+		var idx int
+		if total <= 0 {
+			idx = r.Intn(n) // all points identical to chosen centroids
+		} else {
+			x := r.Float64() * total
+			for i, d := range dist {
+				x -= d
+				if x < 0 {
+					idx = i
+					break
+				}
+			}
+		}
+		c := append(make([]float64, 0, dim), points[idx]...)
+		centroids = append(centroids, c)
+		for i, p := range points {
+			if d := sqDist(p, c); d < dist[i] {
+				dist[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// KMeans1D clusters scalar values; a convenience wrapper used by ROOT's
+// execution-time splits.
+func KMeans1D(values []float64, k int, opts Options) (*Result, error) {
+	pts := make([][]float64, len(values))
+	for i, v := range values {
+		pts[i] = []float64{v}
+	}
+	return KMeans(pts, k, opts)
+}
+
+// Groups converts an assignment into per-cluster index lists; empty clusters
+// are dropped.
+func (r *Result) Groups() [][]int {
+	groups := make([][]int, r.K)
+	for i, a := range r.Assignment {
+		groups[a] = append(groups[a], i)
+	}
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+
+	"stemroot/internal/rng"
+)
+
+// PCA reduces points to the given number of principal components using the
+// covariance method with power iteration and deflation. Photon reduces
+// 800+-dimensional basic-block vectors with PCA before its similarity
+// comparisons; this implements that preprocessing step.
+type PCA struct {
+	Mean       []float64   // per-dimension mean of the fitted data
+	Components [][]float64 // principal axes, unit length, one per component
+	Variances  []float64   // eigenvalues (variance explained per component)
+}
+
+// FitPCA computes up to nComp principal components of points.
+func FitPCA(points [][]float64, nComp int, seed uint64) (*PCA, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("cluster: PCA on empty data")
+	}
+	dim := len(points[0])
+	if nComp <= 0 || nComp > dim {
+		nComp = dim
+	}
+
+	mean := make([]float64, dim)
+	for _, p := range points {
+		for d, v := range p {
+			mean[d] += v
+		}
+	}
+	for d := range mean {
+		mean[d] /= float64(n)
+	}
+
+	// Covariance matrix (dim x dim). BBV dimensionality after pruning is a
+	// few hundred at most, so the dense O(n d^2) computation is fine.
+	cov := make([][]float64, dim)
+	for i := range cov {
+		cov[i] = make([]float64, dim)
+	}
+	centered := make([]float64, dim)
+	for _, p := range points {
+		for d, v := range p {
+			centered[d] = v - mean[d]
+		}
+		for i := 0; i < dim; i++ {
+			ci := centered[i]
+			if ci == 0 {
+				continue
+			}
+			row := cov[i]
+			for j := i; j < dim; j++ {
+				row[j] += ci * centered[j]
+			}
+		}
+	}
+	denom := float64(n - 1)
+	if denom < 1 {
+		denom = 1
+	}
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			cov[i][j] /= denom
+			cov[j][i] = cov[i][j]
+		}
+	}
+
+	p := &PCA{Mean: mean}
+	r := rng.New(seed ^ 0x9ca7)
+	work := make([]float64, dim)
+	for c := 0; c < nComp; c++ {
+		vec, eig := powerIterate(cov, r, work)
+		if eig <= 1e-12 {
+			break // remaining variance is numerically zero
+		}
+		p.Components = append(p.Components, vec)
+		p.Variances = append(p.Variances, eig)
+		// Deflate: cov -= eig * vec vec^T.
+		for i := 0; i < dim; i++ {
+			vi := vec[i]
+			for j := 0; j < dim; j++ {
+				cov[i][j] -= eig * vi * vec[j]
+			}
+		}
+	}
+	if len(p.Components) == 0 {
+		// Zero-variance data: keep a single arbitrary axis so Transform
+		// still produces fixed-size output.
+		axis := make([]float64, dim)
+		if dim > 0 {
+			axis[0] = 1
+		}
+		p.Components = [][]float64{axis}
+		p.Variances = []float64{0}
+	}
+	return p, nil
+}
+
+func powerIterate(m [][]float64, r *rng.Rand, work []float64) ([]float64, float64) {
+	dim := len(m)
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	normalize(v)
+	eig := 0.0
+	for iter := 0; iter < 200; iter++ {
+		// work = M v
+		for i := 0; i < dim; i++ {
+			var s float64
+			row := m[i]
+			for j := 0; j < dim; j++ {
+				s += row[j] * v[j]
+			}
+			work[i] = s
+		}
+		newEig := norm(work)
+		if newEig == 0 {
+			return v, 0
+		}
+		for i := range v {
+			v[i] = work[i] / newEig
+		}
+		if math.Abs(newEig-eig) <= 1e-12*math.Max(newEig, 1) {
+			eig = newEig
+			break
+		}
+		eig = newEig
+	}
+	return v, eig
+}
+
+func norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(v []float64) {
+	n := norm(v)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// Transform projects a point onto the fitted components.
+func (p *PCA) Transform(point []float64) []float64 {
+	out := make([]float64, len(p.Components))
+	for c, comp := range p.Components {
+		var s float64
+		for d, v := range point {
+			s += (v - p.Mean[d]) * comp[d]
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// TransformAll projects every point.
+func (p *PCA) TransformAll(points [][]float64) [][]float64 {
+	out := make([][]float64, len(points))
+	for i, pt := range points {
+		out[i] = p.Transform(pt)
+	}
+	return out
+}

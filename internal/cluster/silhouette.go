@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"math"
+
+	"stemroot/internal/rng"
+)
+
+// Silhouette returns the mean silhouette coefficient of a clustering, a
+// value in [-1, 1] where higher means better-separated clusters. The PKA
+// baseline sweeps k = 1..20 and keeps the k with the best silhouette, which
+// mirrors the original paper's "find the optimal k" step.
+//
+// Cost is O(n^2 d); callers are expected to subsample large inputs.
+func Silhouette(points [][]float64, assignment []int, k int) float64 {
+	n := len(points)
+	if n == 0 || k < 2 {
+		return 0
+	}
+	sizes := make([]int, k)
+	for _, a := range assignment {
+		sizes[a]++
+	}
+	var total float64
+	counted := 0
+	for i := range points {
+		own := assignment[i]
+		if sizes[own] <= 1 {
+			continue // silhouette undefined for singleton clusters
+		}
+		// Mean distance to each cluster.
+		sums := make([]float64, k)
+		for j := range points {
+			if i == j {
+				continue
+			}
+			sums[assignment[j]] += math.Sqrt(sqDist(points[i], points[j]))
+		}
+		a := sums[own] / float64(sizes[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || sizes[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(sizes[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		denom := math.Max(a, b)
+		if denom > 0 {
+			total += (b - a) / denom
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// weakStructure is the silhouette below which a clustering is considered
+// artificial. Kaufman & Rousseeuw's interpretation bands place silhouettes
+// under 0.5 in the "weak or artificial structure" range — splitting a
+// single noise blob lands there (~0.27 empirically). SweepK assigns this
+// score to k=1, so multi-cluster results must show at least reasonable
+// structure to be preferred over no clustering.
+const weakStructure = 0.5
+
+// SweepK runs k-means for each k in [kMin, kMax] and returns the result with
+// the best silhouette score (subsampling to at most sampleCap points for the
+// scoring step). k=1 wins unless some k >= 2 exceeds the weak-structure
+// silhouette threshold — clustering pure measurement noise would otherwise
+// fabricate clusters.
+func SweepK(points [][]float64, kMin, kMax int, opts Options, sampleCap int) (*Result, error) {
+	if kMin < 1 {
+		kMin = 1
+	}
+	if kMax < kMin {
+		kMax = kMin
+	}
+	if kMax > len(points) {
+		kMax = len(points)
+	}
+	var best *Result
+	bestScore := math.Inf(-1)
+	for k := kMin; k <= kMax; k++ {
+		res, err := KMeans(points, k, opts)
+		if err != nil {
+			return nil, err
+		}
+		score := weakStructure
+		if k >= 2 {
+			score = silhouetteSampled(points, res.Assignment, k, sampleCap, opts.Seed)
+		}
+		if best == nil || score > bestScore {
+			best, bestScore = res, score
+		}
+	}
+	return best, nil
+}
+
+// silhouetteSampled computes a silhouette on at most cap points chosen by a
+// deterministic random permutation, keeping SweepK tractable for large
+// inputs. A seeded shuffle (rather than a stride) avoids aliasing with any
+// periodic structure in the input order, such as interleaved kernel types.
+func silhouetteSampled(points [][]float64, assignment []int, k, cap int, seed uint64) float64 {
+	n := len(points)
+	if cap <= 0 || n <= cap {
+		return Silhouette(points, assignment, k)
+	}
+	perm := rng.New(seed ^ 0x51135e77e).Perm(n)
+	subPts := make([][]float64, 0, cap)
+	subAsn := make([]int, 0, cap)
+	for _, i := range perm[:cap] {
+		subPts = append(subPts, points[i])
+		subAsn = append(subAsn, assignment[i])
+	}
+	return Silhouette(subPts, subAsn, k)
+}

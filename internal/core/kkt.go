@@ -1,0 +1,94 @@
+package core
+
+import "math"
+
+// OptimalSizes solves Problem 1 — minimize τ = Σ m_i μ_i subject to the
+// joint error bound Σ N_i²σ_i²/m_i ≤ (ε Σ N_i μ_i / z)² — with the KKT
+// conditions (Eq. 6 / Appendix 9.1):
+//
+//	m_i = (Σ_j sqrt(a_j b_j) / c) · sqrt(b_i / a_i),
+//	a_i = μ_i,  b_i = N_i²σ_i²,  c = (ε Σ N_i μ_i / z)².
+//
+// (The paper's body prints sqrt(Σ_j a_j b_j); the appendix derivation, which
+// this follows, gives Σ_j sqrt(a_j b_j) — the form that actually satisfies
+// the constraint with equality.)
+//
+// Beyond the closed form, this implementation water-fills the caps: a
+// cluster whose unconstrained optimum exceeds its population is fixed at
+// m_i = N_i (simulate every member), its residual variance b_i/N_i is
+// charged against the budget, and the KKT solution is recomputed over the
+// remaining clusters. Zero-variance clusters need exactly one sample.
+func OptimalSizes(clusters []ClusterStats, p Params) []int {
+	n := len(clusters)
+	sizes := make([]int, n)
+
+	var totalTime float64
+	for _, c := range clusters {
+		totalTime += c.Total()
+	}
+	z := p.Z()
+	budget := math.Pow(p.Epsilon*totalTime/z, 2)
+
+	// Partition: degenerate clusters need one sample; the rest are active.
+	active := make([]int, 0, n)
+	for i, c := range clusters {
+		switch {
+		case c.N <= 0:
+			sizes[i] = 0
+		case c.StdDev == 0 || c.Mean <= 0:
+			sizes[i] = 1
+		default:
+			active = append(active, i)
+		}
+	}
+
+	capped := make(map[int]bool)
+	for len(active) > 0 {
+		// Budget remaining after capped clusters' residual variance.
+		rem := budget
+		for i := range capped {
+			ci := clusters[i]
+			rem -= float64(ci.N) * ci.StdDev * ci.StdDev // b_i/N_i
+		}
+		if rem <= 0 {
+			// Even full simulation of the capped clusters exhausts the
+			// bound: simulate everything remaining in full.
+			for _, i := range active {
+				sizes[i] = clusters[i].N
+			}
+			return sizes
+		}
+
+		var s float64 // Σ sqrt(a_j b_j) over active clusters
+		for _, i := range active {
+			ci := clusters[i]
+			b := float64(ci.N) * float64(ci.N) * ci.StdDev * ci.StdDev
+			s += math.Sqrt(ci.Mean * b)
+		}
+
+		overflowed := false
+		next := active[:0]
+		for _, i := range active {
+			ci := clusters[i]
+			b := float64(ci.N) * float64(ci.N) * ci.StdDev * ci.StdDev
+			m := s / rem * math.Sqrt(b/ci.Mean)
+			if m >= float64(ci.N) {
+				sizes[i] = ci.N
+				capped[i] = true
+				overflowed = true
+				continue
+			}
+			mi := int(math.Ceil(m))
+			if mi < 1 {
+				mi = 1
+			}
+			sizes[i] = mi
+			next = append(next, i)
+		}
+		if !overflowed {
+			return sizes
+		}
+		active = next
+	}
+	return sizes
+}

@@ -1,0 +1,102 @@
+// Package core implements the paper's primary contribution:
+//
+//   - STEM (Statistical Error Modeling): given the execution-time
+//     distribution of kernel clusters, the Central Limit Theorem yields the
+//     sampling error of the weighted-sum estimator (Eq. 2). Inverting it
+//     gives the minimal sample size meeting an error bound ε for one cluster
+//     (Eq. 3), and a KKT solver jointly minimizes total simulated time
+//     across many clusters (Problem 1, Eq. 6).
+//
+//   - ROOT (fine-grained hierarchical clustering): kernels grouped by name
+//     are recursively split with k-means on execution time; a split is kept
+//     only if STEM's estimated simulation time decreases (Eq. 7 vs Eq. 8).
+//     Theorem 3.1 guarantees the union of per-set error-bounded clusters
+//     remains error-bounded.
+package core
+
+import (
+	"errors"
+
+	"stemroot/internal/stats"
+)
+
+// Params are the tunable knobs of STEM+ROOT. The paper's defaults are
+// ε = 0.05 at 95% confidence with k = 2 subclusters per ROOT split.
+type Params struct {
+	// Epsilon is the target relative error bound (0.05 = 5%).
+	Epsilon float64
+	// Confidence is the confidence level (0.95 gives z = 1.96).
+	Confidence float64
+	// SplitK is the number of subclusters per ROOT split (>= 2).
+	SplitK int
+	// MinClusterSize stops ROOT from splitting clusters smaller than this.
+	MinClusterSize int
+	// MaxDepth bounds ROOT's recursion depth as a safety net.
+	MaxDepth int
+	// Seed drives k-means initialization and sample selection.
+	Seed uint64
+	// SmallSampleT enables the Student-t small-sample correction: clusters
+	// whose z-based size falls below the CLT rule-of-thumb (m < 30) are
+	// resized with t quantiles. An extension beyond the paper.
+	SmallSampleT bool
+}
+
+// DefaultParams returns the paper's evaluation configuration.
+func DefaultParams() Params {
+	return Params{
+		Epsilon:        0.05,
+		Confidence:     0.95,
+		SplitK:         2,
+		MinClusterSize: 8,
+		MaxDepth:       24,
+		Seed:           1,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.Epsilon <= 0 || p.Epsilon >= 1:
+		return errors.New("core: Epsilon must be in (0,1)")
+	case p.Confidence <= 0 || p.Confidence >= 1:
+		return errors.New("core: Confidence must be in (0,1)")
+	case p.SplitK < 2:
+		return errors.New("core: SplitK must be >= 2")
+	case p.MinClusterSize < 2:
+		return errors.New("core: MinClusterSize must be >= 2")
+	case p.MaxDepth < 1:
+		return errors.New("core: MaxDepth must be >= 1")
+	}
+	return nil
+}
+
+// Z returns z_{1-alpha/2} for the configured confidence level.
+func (p Params) Z() float64 {
+	return stats.MustZScore(p.Confidence)
+}
+
+// ClusterStats summarizes one kernel cluster's execution times: population
+// size N, mean μ, and standard deviation σ. These three numbers are all
+// STEM needs — the "beauty of STEM lies in its versatility" (§3.2).
+type ClusterStats struct {
+	N      int
+	Mean   float64
+	StdDev float64
+}
+
+// CoV returns σ/μ, or 0 for a zero mean.
+func (c ClusterStats) CoV() float64 {
+	if c.Mean == 0 {
+		return 0
+	}
+	return c.StdDev / c.Mean
+}
+
+// Total returns N*μ, the cluster's contribution to total execution time.
+func (c ClusterStats) Total() float64 { return float64(c.N) * c.Mean }
+
+// StatsOf computes ClusterStats from a slice of execution times.
+func StatsOf(times []float64) ClusterStats {
+	s := stats.Summarize(times)
+	return ClusterStats{N: s.N, Mean: s.Mean, StdDev: s.StdDev}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sort"
+
+	"stemroot/internal/cluster"
+	"stemroot/internal/rng"
+)
+
+// Cluster is one leaf of ROOT's hierarchy: a set of invocation indices that
+// behave alike, plus their execution-time statistics.
+type Cluster struct {
+	// Name is the kernel name the cluster descends from.
+	Name string
+	// Indices are invocation indices (into the workload) in this cluster.
+	Indices []int
+	// Stats summarizes the cluster members' execution times.
+	Stats ClusterStats
+}
+
+// rootSplit recursively partitions one kernel-name group. times is the full
+// per-invocation time vector; idxs the member indices of the current
+// cluster.
+//
+// The branching rule (Fig. 4, bottom): estimate the simulated time of
+// sampling the cluster as-is (τ_old, Eq. 7) and of sampling the k-means
+// subclusters with jointly optimized sizes (τ_new, Eq. 8); split only if
+// τ_new < τ_old.
+func rootSplit(name string, times []float64, idxs []int, p Params, depth int, out []Cluster) []Cluster {
+	vals := make([]float64, len(idxs))
+	for i, ix := range idxs {
+		vals[i] = times[ix]
+	}
+	cs := StatsOf(vals)
+	leaf := Cluster{Name: name, Indices: idxs, Stats: cs}
+
+	if depth >= p.MaxDepth || cs.N < p.MinClusterSize || cs.StdDev == 0 {
+		return append(out, leaf)
+	}
+
+	res, err := cluster.KMeans1D(vals, p.SplitK, cluster.Options{
+		Seed: rng.Derive(p.Seed, rng.HashString(name), uint64(depth), uint64(len(idxs))),
+	})
+	if err != nil {
+		return append(out, leaf)
+	}
+	groups := res.Groups()
+	if len(groups) < 2 {
+		return append(out, leaf) // k-means could not separate anything
+	}
+
+	subStats := make([]ClusterStats, len(groups))
+	subIdxs := make([][]int, len(groups))
+	for g, members := range groups {
+		sub := make([]int, len(members))
+		subVals := make([]float64, len(members))
+		for j, m := range members {
+			sub[j] = idxs[m]
+			subVals[j] = vals[m]
+		}
+		subIdxs[g] = sub
+		subStats[g] = StatsOf(subVals)
+	}
+
+	// Eq. (7): simulated time of sampling the unsplit cluster.
+	tauOld := float64(SampleSize(cs, p)) * cs.Mean
+	// Eq. (8): simulated time after the split with joint KKT sizing.
+	newSizes := OptimalSizes(subStats, p)
+	tauNew := SimTime(subStats, newSizes)
+
+	if tauNew >= tauOld {
+		return append(out, leaf)
+	}
+	for g := range groups {
+		out = rootSplit(name, times, subIdxs[g], p, depth+1, out)
+	}
+	return out
+}
+
+// BuildClusters runs ROOT end to end: invocations are grouped by kernel
+// name ("most large-scale GPU workloads typically consist of repetitive
+// invocations of the same kernel types", §3), and each group is recursively
+// split while splits keep reducing STEM's estimated simulation time.
+//
+// names[i] and times[i] describe invocation i. The returned leaves cover
+// every invocation exactly once, ordered deterministically.
+func BuildClusters(names []string, times []float64, p Params) []Cluster {
+	byName := make(map[string][]int)
+	var order []string
+	for i, n := range names {
+		if _, ok := byName[n]; !ok {
+			order = append(order, n)
+		}
+		byName[n] = append(byName[n], i)
+	}
+	sort.Strings(order) // deterministic independent of input order
+
+	var out []Cluster
+	for _, n := range order {
+		out = rootSplit(n, times, byName[n], p, 0, out)
+	}
+	return out
+}
+
+// ClusterStatsOf extracts the per-cluster statistics vector, the input to
+// the final joint KKT sizing pass.
+func ClusterStatsOf(clusters []Cluster) []ClusterStats {
+	out := make([]ClusterStats, len(clusters))
+	for i, c := range clusters {
+		out[i] = c.Stats
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"stemroot/internal/rng"
+)
+
+// bimodalTimes builds n invocations of one kernel whose times form two
+// well-separated narrow peaks.
+func bimodalTimes(n int, seed uint64) ([]string, []float64) {
+	r := rng.New(seed)
+	names := make([]string, n)
+	times := make([]float64, n)
+	for i := range times {
+		names[i] = "gemm"
+		if i%2 == 0 {
+			times[i] = 10 * (1 + 0.02*r.NormFloat64())
+		} else {
+			times[i] = 100 * (1 + 0.02*r.NormFloat64())
+		}
+	}
+	return names, times
+}
+
+func TestBuildClustersCoverExactly(t *testing.T) {
+	names, times := bimodalTimes(1000, 1)
+	// Add a second kernel.
+	r := rng.New(2)
+	for i := 0; i < 500; i++ {
+		names = append(names, "relu")
+		times = append(times, 1+0.05*r.NormFloat64())
+	}
+	leaves := BuildClusters(names, times, defaultP())
+	seen := make(map[int]bool)
+	for _, c := range leaves {
+		for _, ix := range c.Indices {
+			if seen[ix] {
+				t.Fatalf("index %d in two clusters", ix)
+			}
+			seen[ix] = true
+		}
+		if c.Stats.N != len(c.Indices) {
+			t.Fatal("stats N mismatch")
+		}
+	}
+	if len(seen) != len(times) {
+		t.Fatalf("clusters cover %d of %d invocations", len(seen), len(times))
+	}
+}
+
+func TestRootSplitsBimodalKernel(t *testing.T) {
+	names, times := bimodalTimes(2000, 3)
+	leaves := BuildClusters(names, times, defaultP())
+	if len(leaves) < 2 {
+		t.Fatalf("ROOT kept bimodal kernel as %d cluster(s)", len(leaves))
+	}
+	// Each leaf must be essentially unimodal: tiny within-cluster CoV.
+	for _, c := range leaves {
+		if c.Stats.N < 10 {
+			continue
+		}
+		if cov := c.Stats.CoV(); cov > 0.1 {
+			t.Fatalf("leaf CoV = %v, peaks not separated", cov)
+		}
+	}
+}
+
+func TestRootSplittingReducesSimTime(t *testing.T) {
+	names, times := bimodalTimes(2000, 4)
+	p := defaultP()
+	split, err := BuildPlan(names, times, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := BuildPlanFlat(names, times, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.SimTimeEstimate() >= flat.SimTimeEstimate() {
+		t.Fatalf("ROOT (%v) should simulate less than flat STEM (%v)",
+			split.SimTimeEstimate(), flat.SimTimeEstimate())
+	}
+}
+
+func TestRootDoesNotOverSplitUnimodal(t *testing.T) {
+	r := rng.New(5)
+	n := 2000
+	names := make([]string, n)
+	times := make([]float64, n)
+	for i := range times {
+		names[i] = "stable_kernel"
+		times[i] = 50 * (1 + 0.01*r.NormFloat64())
+	}
+	leaves := BuildClusters(names, times, defaultP())
+	if len(leaves) > 3 {
+		t.Fatalf("unimodal kernel split into %d clusters", len(leaves))
+	}
+}
+
+func TestRootRespectsMinClusterSize(t *testing.T) {
+	names, times := bimodalTimes(2000, 6)
+	p := defaultP()
+	p.MinClusterSize = 4
+	leaves := BuildClusters(names, times, p)
+	// No leaf smaller than MinClusterSize unless it was created by a split
+	// of a just-over-threshold parent; leaves of size >= 1 always.
+	for _, c := range leaves {
+		if len(c.Indices) == 0 {
+			t.Fatal("empty leaf")
+		}
+	}
+}
+
+func TestRootDeterministic(t *testing.T) {
+	names, times := bimodalTimes(1000, 7)
+	a := BuildClusters(names, times, defaultP())
+	b := BuildClusters(names, times, defaultP())
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic leaf count")
+	}
+	for i := range a {
+		if len(a[i].Indices) != len(b[i].Indices) || a[i].Stats != b[i].Stats {
+			t.Fatalf("leaf %d differs between runs", i)
+		}
+	}
+}
+
+func TestRootKInsensitive(t *testing.T) {
+	// §3.4: "any number above 2 works well" — k=2,3,4 must all isolate the
+	// peaks (leaf CoV small) and give similar simulated time.
+	names, times := bimodalTimes(3000, 8)
+	var taus []float64
+	for _, k := range []int{2, 3, 4} {
+		p := defaultP()
+		p.SplitK = k
+		plan, err := BuildPlan(names, times, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		taus = append(taus, plan.SimTimeEstimate())
+	}
+	for i := 1; i < len(taus); i++ {
+		ratio := taus[i] / taus[0]
+		if ratio > 3 || ratio < 1.0/3 {
+			t.Fatalf("k sensitivity too high: taus = %v", taus)
+		}
+	}
+}
+
+func TestBuildPlanSamplesWithinClusters(t *testing.T) {
+	names, times := bimodalTimes(2000, 9)
+	plan, err := BuildPlan(names, times, defaultP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range plan.Clusters {
+		member := make(map[int]bool, len(c.Indices))
+		for _, ix := range c.Indices {
+			member[ix] = true
+		}
+		if len(c.Samples) != c.SampleSize {
+			t.Fatalf("cluster has %d samples for size %d", len(c.Samples), c.SampleSize)
+		}
+		for _, s := range c.Samples {
+			if !member[s] {
+				t.Fatalf("sample %d not a cluster member", s)
+			}
+		}
+		if c.SampleSize > 0 {
+			wantW := float64(len(c.Indices)) / float64(c.SampleSize)
+			if math.Abs(c.Weight-wantW) > 1e-9 {
+				t.Fatalf("weight %v != N/m %v", c.Weight, wantW)
+			}
+		}
+	}
+	if plan.PredictedError > plan.Params.Epsilon {
+		t.Fatalf("plan predicted error %v exceeds epsilon", plan.PredictedError)
+	}
+}
+
+func TestPlanEstimateAccuracy(t *testing.T) {
+	// The weighted-sum estimate from the plan's own profile must land
+	// within the error bound of the true total (with margin for the 95%
+	// confidence level).
+	names, times := bimodalTimes(20000, 10)
+	p := defaultP()
+	plan, err := BuildPlan(names, times, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth float64
+	for _, tt := range times {
+		truth += tt
+	}
+	est := plan.Estimate(func(i int) float64 { return times[i] })
+	relErr := math.Abs(est-truth) / truth
+	if relErr > p.Epsilon {
+		t.Fatalf("relative error %v exceeds bound %v", relErr, p.Epsilon)
+	}
+}
+
+func TestPlanEstimateUnbiased(t *testing.T) {
+	// Across many seeds the mean estimate converges to the truth.
+	names, times := bimodalTimes(5000, 11)
+	var truth float64
+	for _, tt := range times {
+		truth += tt
+	}
+	var sum float64
+	const reps = 40
+	for s := 0; s < reps; s++ {
+		p := defaultP()
+		p.Seed = uint64(s + 1)
+		plan, err := BuildPlan(names, times, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += plan.Estimate(func(i int) float64 { return times[i] })
+	}
+	mean := sum / reps
+	if rel := math.Abs(mean-truth) / truth; rel > 0.01 {
+		t.Fatalf("mean estimate off by %v — estimator biased?", rel)
+	}
+}
+
+func TestSampledIndicesDistinct(t *testing.T) {
+	names, times := bimodalTimes(2000, 12)
+	plan, err := BuildPlan(names, times, defaultP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxs := plan.SampledIndices()
+	seen := make(map[int]bool)
+	for _, ix := range idxs {
+		if seen[ix] {
+			t.Fatal("duplicate in SampledIndices")
+		}
+		seen[ix] = true
+		if ix < 0 || ix >= len(times) {
+			t.Fatalf("index %d out of range", ix)
+		}
+	}
+	if plan.TotalSamples() < len(idxs) {
+		t.Fatal("total samples below distinct count")
+	}
+}
+
+func TestBuildPlanRejectsBadParams(t *testing.T) {
+	names, times := bimodalTimes(100, 13)
+	bad := defaultP()
+	bad.Epsilon = 0
+	if _, err := BuildPlan(names, times, bad); err == nil {
+		t.Fatal("expected parameter error")
+	}
+	if _, err := BuildPlanFlat(names, times, bad); err == nil {
+		t.Fatal("expected parameter error (flat)")
+	}
+}
+
+func TestTightEpsilonSamplesMore(t *testing.T) {
+	names, times := bimodalTimes(20000, 14)
+	sizes := make([]int, 0, 2)
+	for _, eps := range []float64{0.03, 0.25} {
+		p := defaultP()
+		p.Epsilon = eps
+		plan, err := BuildPlan(names, times, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, plan.TotalSamples())
+	}
+	if sizes[0] <= sizes[1] {
+		t.Fatalf("eps=3%% should need more samples than eps=25%%: %v", sizes)
+	}
+}

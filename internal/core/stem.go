@@ -1,0 +1,86 @@
+package core
+
+import "math"
+
+// SampleSize implements Eq. (3): the minimal sample size m that keeps the
+// CLT sampling error of one cluster below ε at the configured confidence:
+//
+//	m = ceil( (z_{1-α/2}/ε · σ/μ)^2 )
+//
+// The result is clamped to [1, N]: at least one sample is always needed to
+// observe the cluster at all, and m = N means simulating every member, which
+// is exact under sampling without replacement (and no worse with it).
+func SampleSize(c ClusterStats, p Params) int {
+	if c.N <= 0 {
+		return 0
+	}
+	if c.Mean <= 0 || c.StdDev == 0 {
+		return 1
+	}
+	z := p.Z()
+	m := math.Ceil(math.Pow(z/p.Epsilon*c.CoV(), 2))
+	if m < 1 {
+		m = 1
+	}
+	if m > float64(c.N) {
+		return c.N
+	}
+	return int(m)
+}
+
+// PredictedError implements Eq. (2) generalized to multiple clusters
+// (Eq. 4/5): the theoretical relative error of the weighted-sum estimator
+// with the given per-cluster sample sizes,
+//
+//	e = z · sqrt(Σ N_i² σ_i²/m_i) / Σ N_i μ_i .
+//
+// Clusters with m_i = N_i contribute no estimation variance when sampling
+// without replacement; STEM's with-replacement analysis is conservative, so
+// we keep the variance term (it only overestimates the error).
+func PredictedError(clusters []ClusterStats, sizes []int, p Params) float64 {
+	var variance, total float64
+	for i, c := range clusters {
+		total += c.Total()
+		if c.N == 0 {
+			continue
+		}
+		m := sizes[i]
+		if m <= 0 {
+			// An unsampled cluster with nonzero spread makes the estimate
+			// unbounded; treat its full contribution as error-at-risk.
+			if c.StdDev > 0 || c.Mean > 0 {
+				return math.Inf(1)
+			}
+			continue
+		}
+		nf := float64(c.N)
+		variance += nf * nf * c.StdDev * c.StdDev / float64(m)
+	}
+	if total <= 0 {
+		return 0
+	}
+	return p.Z() * math.Sqrt(variance) / total
+}
+
+// SimTime returns τ = Σ m_i μ_i, the expected total execution time of the
+// chosen samples — STEM's proxy for sampled-simulation cost (Problem 1).
+func SimTime(clusters []ClusterStats, sizes []int) float64 {
+	var tau float64
+	for i, c := range clusters {
+		tau += float64(sizes[i]) * c.Mean
+	}
+	return tau
+}
+
+// IndependentSizes applies Eq. (3) to every cluster independently — the
+// strawman STEM improves on in §3.3 ("imposes strict error bounds on every
+// cluster, often resulting in a larger total sample size than necessary").
+// It is exported for the ablation benchmark comparing it against the joint
+// KKT solution.
+func IndependentSizes(clusters []ClusterStats, p Params) []int {
+	sizes := make([]int, len(clusters))
+	for i, c := range clusters {
+		sizes[i] = SampleSize(c, p)
+	}
+	return sizes
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stemroot/internal/rng"
+)
+
+func defaultP() Params { return DefaultParams() }
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Epsilon: 0, Confidence: 0.95, SplitK: 2, MinClusterSize: 8, MaxDepth: 4},
+		{Epsilon: 0.05, Confidence: 1.0, SplitK: 2, MinClusterSize: 8, MaxDepth: 4},
+		{Epsilon: 0.05, Confidence: 0.95, SplitK: 1, MinClusterSize: 8, MaxDepth: 4},
+		{Epsilon: 0.05, Confidence: 0.95, SplitK: 2, MinClusterSize: 1, MaxDepth: 4},
+		{Epsilon: 0.05, Confidence: 0.95, SplitK: 2, MinClusterSize: 8, MaxDepth: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestZ95(t *testing.T) {
+	p := defaultP()
+	if z := p.Z(); math.Abs(z-1.96) > 0.001 {
+		t.Fatalf("z = %v, want ~1.96", z)
+	}
+}
+
+func TestSampleSizeKnownValue(t *testing.T) {
+	// CoV = 0.5, eps = 0.05, z = 1.96: m = ceil((1.96/0.05*0.5)^2) = 385.
+	c := ClusterStats{N: 100000, Mean: 10, StdDev: 5}
+	if m := SampleSize(c, defaultP()); m != 385 {
+		t.Fatalf("m = %d, want 385", m)
+	}
+}
+
+func TestSampleSizeEdgeCases(t *testing.T) {
+	p := defaultP()
+	if m := SampleSize(ClusterStats{N: 0}, p); m != 0 {
+		t.Fatalf("empty cluster m = %d", m)
+	}
+	if m := SampleSize(ClusterStats{N: 50, Mean: 10, StdDev: 0}, p); m != 1 {
+		t.Fatalf("zero-variance m = %d, want 1", m)
+	}
+	// m is capped at the population size.
+	c := ClusterStats{N: 10, Mean: 1, StdDev: 100}
+	if m := SampleSize(c, p); m != 10 {
+		t.Fatalf("m = %d, want cap at N=10", m)
+	}
+}
+
+func TestSampleSizeMonotoneInCoV(t *testing.T) {
+	p := defaultP()
+	prev := 0
+	for _, sd := range []float64{0.1, 0.5, 1, 2, 5} {
+		m := SampleSize(ClusterStats{N: 1 << 30, Mean: 10, StdDev: sd * 10}, p)
+		if m <= prev {
+			t.Fatalf("sample size not increasing with CoV: %d after %d", m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestSampleSizeMonotoneInEpsilon(t *testing.T) {
+	c := ClusterStats{N: 1 << 30, Mean: 10, StdDev: 8}
+	prev := math.MaxInt64
+	for _, eps := range []float64{0.03, 0.05, 0.10, 0.25} {
+		p := defaultP()
+		p.Epsilon = eps
+		m := SampleSize(c, p)
+		if m >= prev {
+			t.Fatalf("sample size should shrink as eps grows: %d then %d", prev, m)
+		}
+		prev = m
+	}
+}
+
+func TestPredictedErrorSingleCluster(t *testing.T) {
+	// With m from Eq. (3), the predicted error must be <= eps (and close).
+	p := defaultP()
+	c := ClusterStats{N: 100000, Mean: 10, StdDev: 5}
+	m := SampleSize(c, p)
+	e := PredictedError([]ClusterStats{c}, []int{m}, p)
+	if e > p.Epsilon {
+		t.Fatalf("predicted error %v exceeds bound %v", e, p.Epsilon)
+	}
+	if e < p.Epsilon*0.9 {
+		t.Fatalf("predicted error %v unexpectedly slack vs %v", e, p.Epsilon)
+	}
+}
+
+func TestPredictedErrorUnsampledCluster(t *testing.T) {
+	p := defaultP()
+	cs := []ClusterStats{{N: 10, Mean: 5, StdDev: 1}}
+	if e := PredictedError(cs, []int{0}, p); !math.IsInf(e, 1) {
+		t.Fatalf("unsampled nonzero cluster should be infinite risk, got %v", e)
+	}
+	if e := PredictedError(nil, nil, p); e != 0 {
+		t.Fatalf("empty cluster set error = %v", e)
+	}
+}
+
+func randClusters(r *rng.Rand, n int) []ClusterStats {
+	cs := make([]ClusterStats, n)
+	for i := range cs {
+		cs[i] = ClusterStats{
+			N:      10 + r.Intn(100000),
+			Mean:   0.5 + 100*r.Float64(),
+			StdDev: 50 * r.Float64(),
+		}
+	}
+	return cs
+}
+
+func TestOptimalSizesMeetBound(t *testing.T) {
+	// Property: the KKT sizes always satisfy the joint error constraint
+	// (or every variable cluster is fully simulated).
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		cs := randClusters(r, 1+r.Intn(12))
+		p := defaultP()
+		p.Epsilon = 0.01 + 0.2*r.Float64()
+		sizes := OptimalSizes(cs, p)
+		allFull := true
+		for i, c := range cs {
+			if sizes[i] < 1 && c.N > 0 {
+				return false
+			}
+			if sizes[i] > c.N {
+				return false
+			}
+			if sizes[i] < c.N {
+				allFull = false
+			}
+		}
+		e := PredictedError(cs, sizes, p)
+		return e <= p.Epsilon*1.0000001 || allFull
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalSizesBeatIndependent(t *testing.T) {
+	// The joint KKT solution never needs more simulated time than applying
+	// Eq. (3) per cluster — §3.3 reports 2-3x average reduction.
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		cs := randClusters(r, 2+r.Intn(10))
+		p := defaultP()
+		joint := OptimalSizes(cs, p)
+		indep := IndependentSizes(cs, p)
+		// Ceiling effects can cost a few samples; compare simulated time
+		// with a 1% tolerance.
+		return SimTime(cs, joint) <= SimTime(cs, indep)*1.01+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalSizesSubstantialReduction(t *testing.T) {
+	// A concrete heterogeneous mix where the joint solution should save
+	// well over 1.5x simulated time (paper: 2-3x on average).
+	cs := []ClusterStats{
+		{N: 100000, Mean: 1, StdDev: 0.5},  // cheap, modest variance
+		{N: 1000, Mean: 500, StdDev: 400},  // expensive, high variance
+		{N: 50000, Mean: 2, StdDev: 1},     // cheap
+		{N: 200, Mean: 2000, StdDev: 1500}, // very expensive
+	}
+	p := defaultP()
+	joint := SimTime(cs, OptimalSizes(cs, p))
+	indep := SimTime(cs, IndependentSizes(cs, p))
+	if indep/joint < 1.35 {
+		t.Fatalf("joint/independent simulated-time ratio only %v", indep/joint)
+	}
+}
+
+func TestOptimalSizesDegenerate(t *testing.T) {
+	p := defaultP()
+	cs := []ClusterStats{
+		{N: 0},
+		{N: 100, Mean: 5, StdDev: 0},
+		{N: 100, Mean: 0, StdDev: 0},
+	}
+	sizes := OptimalSizes(cs, p)
+	if sizes[0] != 0 || sizes[1] != 1 || sizes[2] != 1 {
+		t.Fatalf("degenerate sizes = %v", sizes)
+	}
+}
+
+func TestOptimalSizesWaterFilling(t *testing.T) {
+	// A tiny ultra-variable cluster whose unconstrained optimum (~33)
+	// exceeds its population (5) must cap at N; the solver recomputes the
+	// other cluster against the residual budget and still meets the bound.
+	p := defaultP()
+	cs := []ClusterStats{
+		{N: 5, Mean: 10, StdDev: 80}, // caps at 5
+		{N: 1000, Mean: 10, StdDev: 5},
+	}
+	sizes := OptimalSizes(cs, p)
+	if sizes[0] != 5 {
+		t.Fatalf("cluster 0 should cap at N=5, got %d", sizes[0])
+	}
+	if sizes[1] <= 0 || sizes[1] >= 1000 {
+		t.Fatalf("cluster 1 size %d should be interior", sizes[1])
+	}
+	if e := PredictedError(cs, sizes, p); e > p.Epsilon*1.0000001 {
+		t.Fatalf("error %v exceeds bound after water-filling", e)
+	}
+}
+
+func TestOptimalSizesInfeasibleBoundFallsBackToFullSim(t *testing.T) {
+	// If even full simulation of a wild cluster exhausts the variance
+	// budget, every cluster is simulated in full.
+	p := defaultP()
+	cs := []ClusterStats{
+		{N: 5, Mean: 10, StdDev: 1e6},
+		{N: 1000, Mean: 10, StdDev: 1},
+	}
+	sizes := OptimalSizes(cs, p)
+	if sizes[0] != 5 || sizes[1] != 1000 {
+		t.Fatalf("expected full simulation fallback, got %v", sizes)
+	}
+}
+
+func TestTheorem31UnionBound(t *testing.T) {
+	// Theorem 3.1: if each cluster set meets the bound with its sizes, the
+	// union of all sets meets the bound with the same sizes.
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		p := defaultP()
+		p.Epsilon = 0.02 + 0.1*r.Float64()
+		var union []ClusterStats
+		var sizes []int
+		sets := 2 + r.Intn(5)
+		for s := 0; s < sets; s++ {
+			cs := randClusters(r, 1+r.Intn(6))
+			sz := OptimalSizes(cs, p)
+			// Only include sets that individually meet the bound (capped
+			// full-simulation sets are conservative in the formula).
+			if PredictedError(cs, sz, p) > p.Epsilon {
+				continue
+			}
+			union = append(union, cs...)
+			sizes = append(sizes, sz...)
+		}
+		if len(union) == 0 {
+			return true
+		}
+		return PredictedError(union, sizes, p) <= p.Epsilon*1.0000001
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimTime(t *testing.T) {
+	cs := []ClusterStats{{N: 10, Mean: 2}, {N: 5, Mean: 3}}
+	if got := SimTime(cs, []int{4, 2}); got != 4*2+2*3 {
+		t.Fatalf("SimTime = %v", got)
+	}
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"stemroot/internal/rng"
+	"stemroot/internal/stats"
+)
+
+// ProfileScanner streams (kernel name, execution time) pairs in invocation
+// order. Scan calls yield for every invocation and stops early if yield
+// returns false; it must produce the identical sequence on every call.
+// It abstracts profile sources too large to hold in memory — the paper's
+// GPT-2 trace has over fifty million kernel invocations.
+type ProfileScanner interface {
+	Scan(yield func(name string, timeUS float64) bool) error
+}
+
+// SliceScanner adapts in-memory name/time slices to ProfileScanner.
+type SliceScanner struct {
+	Names []string
+	Times []float64
+}
+
+// Scan implements ProfileScanner.
+func (s SliceScanner) Scan(yield func(string, float64) bool) error {
+	if len(s.Names) != len(s.Times) {
+		return errors.New("core: mismatched scanner slices")
+	}
+	for i, n := range s.Names {
+		if !yield(n, s.Times[i]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// reservoir keeps a uniform sample of a stream (Vitter's algorithm R).
+type reservoir struct {
+	cap  int
+	seen int
+	vals []float64
+	r    *rng.Rand
+}
+
+func newReservoir(cap int, r *rng.Rand) *reservoir {
+	return &reservoir{cap: cap, vals: make([]float64, 0, cap), r: r}
+}
+
+func (rv *reservoir) add(v float64) {
+	rv.seen++
+	if len(rv.vals) < rv.cap {
+		rv.vals = append(rv.vals, v)
+		return
+	}
+	if j := rv.r.Intn(rv.seen); j < rv.cap {
+		rv.vals[j] = v
+	}
+}
+
+// indexReservoir uniformly samples invocation indices.
+type indexReservoir struct {
+	cap  int
+	seen int
+	idxs []int
+	r    *rng.Rand
+}
+
+func newIndexReservoir(cap int, r *rng.Rand) *indexReservoir {
+	return &indexReservoir{cap: cap, idxs: make([]int, 0, cap), r: r}
+}
+
+func (rv *indexReservoir) add(i int) {
+	rv.seen++
+	if len(rv.idxs) < rv.cap {
+		rv.idxs = append(rv.idxs, i)
+		return
+	}
+	if j := rv.r.Intn(rv.seen); j < rv.cap {
+		rv.idxs[j] = i
+	}
+}
+
+// StreamOptions tunes BuildPlanStream.
+type StreamOptions struct {
+	// ReservoirCap bounds the per-kernel-name time sample used for
+	// clustering (default 8192). Memory is O(names * cap), independent of
+	// trace length.
+	ReservoirCap int
+}
+
+// BuildPlanStream builds a STEM+ROOT plan from an out-of-core profile in
+// two streaming passes:
+//
+//  1. Per kernel name, accumulate exact counts plus a bounded uniform
+//     reservoir of execution times. ROOT clusters each reservoir; because
+//     1-D k-means clusters are contiguous, every leaf becomes a half-open
+//     time interval, so cluster membership is decidable from (name, time)
+//     alone.
+//  2. Stream again: count each cluster's exact population, accumulate its
+//     exact moments, and reservoir-sample candidate invocation indices.
+//     Final sample sizes come from the exact statistics; the plan draws
+//     its samples (with replacement) from the candidate reservoirs.
+//
+// Memory is O(#names * ReservoirCap + #clusters * maxSampleSize);
+// time is two sequential scans plus near-linear clustering — matching the
+// paper's scalability claim for million-kernel workloads.
+func BuildPlanStream(src ProfileScanner, p Params, opts StreamOptions) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cap := opts.ReservoirCap
+	if cap <= 0 {
+		cap = 8192
+	}
+
+	// ---- Pass 1: reservoirs per kernel name ----
+	type nameState struct {
+		res *reservoir
+	}
+	states := make(map[string]*nameState)
+	var order []string
+	seedGen := rng.New(rng.Derive(p.Seed, 0x57e4))
+	if err := src.Scan(func(name string, t float64) bool {
+		st := states[name]
+		if st == nil {
+			st = &nameState{res: newReservoir(cap, seedGen.Split())}
+			states[name] = st
+			order = append(order, name)
+		}
+		st.res.add(t)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, errors.New("core: empty profile stream")
+	}
+	sort.Strings(order)
+
+	// Cluster each reservoir with ROOT; convert leaves to intervals.
+	type interval struct {
+		name   string
+		lo, hi float64 // [lo, hi)
+	}
+	var intervals []interval
+	for _, name := range order {
+		vals := states[name].res.vals
+		leaves := rootSplit(name, vals, identityIndices(len(vals)), p, 0, nil)
+		// Leaves of 1-D k-means are contiguous; recover their value ranges
+		// and convert to a partition of the real line.
+		type span struct{ lo, hi float64 }
+		spans := make([]span, 0, len(leaves))
+		for _, leaf := range leaves {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, ix := range leaf.Indices {
+				v := vals[ix]
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			spans = append(spans, span{lo, hi})
+		}
+		sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+		for i, sp := range spans {
+			iv := interval{name: name, lo: sp.lo, hi: math.Inf(1)}
+			if i == 0 {
+				iv.lo = math.Inf(-1)
+			}
+			if i+1 < len(spans) {
+				// Cut halfway between adjacent spans so unseen values
+				// assign to the nearer cluster.
+				iv.hi = (sp.hi + spans[i+1].lo) / 2
+			}
+			intervals = append(intervals, iv)
+		}
+	}
+
+	// Index intervals per name for binary-search assignment.
+	cuts := make(map[string][]float64) // upper bounds, ascending
+	base := make(map[string]int)       // first interval index of the name
+	for i, iv := range intervals {
+		if _, ok := base[iv.name]; !ok {
+			base[iv.name] = i
+		}
+		cuts[iv.name] = append(cuts[iv.name], iv.hi)
+	}
+	assign := func(name string, t float64) int {
+		cs := cuts[name]
+		j := sort.SearchFloat64s(cs, t)
+		if j >= len(cs) {
+			j = len(cs) - 1
+		}
+		return base[name] + j
+	}
+
+	// ---- Pass 2: exact per-cluster statistics + index reservoirs ----
+	exact := make([]stats.Online, len(intervals))
+	// Candidate reservoirs sized generously; trimmed to the final m later.
+	candCap := maxCandidateSize(p)
+	cands := make([]*indexReservoir, len(intervals))
+	for i := range cands {
+		cands[i] = newIndexReservoir(candCap, seedGen.Split())
+	}
+	pos := 0
+	if err := src.Scan(func(name string, t float64) bool {
+		ci := assign(name, t)
+		exact[ci].Add(t)
+		cands[ci].add(pos)
+		pos++
+		return true
+	}); err != nil {
+		return nil, err
+	}
+
+	// Final sizing from exact statistics.
+	statsVec := make([]ClusterStats, len(intervals))
+	for i := range intervals {
+		o := &exact[i]
+		statsVec[i] = ClusterStats{N: o.N(), Mean: o.Mean(), StdDev: o.StdDev()}
+	}
+	sizes := OptimalSizes(statsVec, p)
+	if p.SmallSampleT {
+		sizes = ApplyTCorrection(statsVec, sizes, p)
+	}
+
+	plan := &Plan{Params: p}
+	drawGen := rng.New(rng.Derive(p.Seed, 0xd4aa))
+	for i, iv := range intervals {
+		m := sizes[i]
+		cs := statsVec[i]
+		pc := PlanCluster{Name: iv.name, SampleSize: m, Stats: cs}
+		if cs.N > 0 && m > 0 {
+			pool := cands[i].idxs
+			if len(pool) == 0 {
+				return nil, fmt.Errorf("core: cluster %d has population but no candidates", i)
+			}
+			if m >= cs.N {
+				// Exact coverage is impossible without indices for every
+				// member; cap at the candidate pool (distinct draws).
+				m = min(cs.N, len(pool))
+				pc.SampleSize = m
+				pc.Samples = append([]int(nil), pool[:m]...)
+				pc.Weight = float64(cs.N) / float64(m)
+			} else {
+				pc.Weight = float64(cs.N) / float64(m)
+				pc.Samples = make([]int, m)
+				for j := range pc.Samples {
+					pc.Samples[j] = pool[drawGen.Intn(len(pool))]
+				}
+			}
+		}
+		plan.Clusters = append(plan.Clusters, pc)
+	}
+	finalSizes := make([]int, len(plan.Clusters))
+	for i := range plan.Clusters {
+		finalSizes[i] = plan.Clusters[i].SampleSize
+	}
+	plan.PredictedError = PredictedError(statsVec, finalSizes, p)
+	return plan, nil
+}
+
+// maxCandidateSize bounds the per-cluster candidate reservoir: at least a
+// thousand and comfortably above any plausible sample size for the error
+// bound.
+func maxCandidateSize(p Params) int {
+	z := p.Z()
+	// Largest single-cluster size for CoV = 3 (an extreme spread).
+	m := int(math.Ceil(math.Pow(z/p.Epsilon*3, 2)))
+	if m < 1000 {
+		m = 1000
+	}
+	if m > 200000 {
+		m = 200000
+	}
+	return m
+}
+
+func identityIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

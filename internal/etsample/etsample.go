@@ -1,0 +1,172 @@
+// Package etsample extends STEM+ROOT to DAG-structured execution traces —
+// the paper's §6.2 proposal of "node sampling on DAG-style ETs".
+//
+// The key difference from flat kernel-level sampling: a DAG's total time is
+// not a weighted sum of node times (dependencies and overlap shape the
+// makespan), so instead of extrapolating a scalar, the sampler estimates a
+// *per-node* time: ROOT clusters compute nodes by profiled execution time
+// within each kernel name, STEM sizes the per-cluster samples, and every
+// unsampled node inherits its cluster's sampled mean. Replaying the DAG
+// with estimated node times yields the estimated makespan; only the sampled
+// nodes ever need detailed simulation.
+package etsample
+
+import (
+	"errors"
+
+	"stemroot/internal/chakra"
+	"stemroot/internal/core"
+	"stemroot/internal/multigpu"
+)
+
+// GraphPlan is a sampling plan over a trace's compute nodes.
+type GraphPlan struct {
+	Params core.Params
+	// Clusters partition the compute nodes.
+	Clusters []core.PlanCluster
+	// nodeCluster maps node ID -> cluster index.
+	nodeCluster map[int]int
+}
+
+// BuildGraphPlan clusters and sizes the trace's compute nodes from their
+// profiled times (profUS[id] for every node ID; comm entries are ignored).
+func BuildGraphPlan(g *chakra.Graph, profUS []float64, p Params) (*GraphPlan, error) {
+	if len(profUS) != len(g.Nodes) {
+		return nil, errors.New("etsample: profile length mismatch")
+	}
+	if err := p.Core.Validate(); err != nil {
+		return nil, err
+	}
+	computeIDs := g.ComputeNodes()
+	if len(computeIDs) == 0 {
+		return nil, errors.New("etsample: trace has no compute nodes")
+	}
+
+	// Flatten compute nodes for the core machinery: names and times indexed
+	// by position in computeIDs.
+	names := make([]string, len(computeIDs))
+	times := make([]float64, len(computeIDs))
+	for j, id := range computeIDs {
+		names[j] = g.Nodes[id].Name
+		times[j] = profUS[id]
+	}
+	cp, err := core.BuildPlan(names, times, p.Core)
+	if err != nil {
+		return nil, err
+	}
+
+	plan := &GraphPlan{Params: p.Core, nodeCluster: make(map[int]int, len(computeIDs))}
+	for ci := range cp.Clusters {
+		c := cp.Clusters[ci]
+		// Translate flattened indices back to node IDs.
+		members := make([]int, len(c.Indices))
+		for k, fi := range c.Indices {
+			members[k] = computeIDs[fi]
+		}
+		samples := make([]int, len(c.Samples))
+		for k, fi := range c.Samples {
+			samples[k] = computeIDs[fi]
+		}
+		c.Indices = members
+		c.Samples = samples
+		plan.Clusters = append(plan.Clusters, c)
+		for _, id := range members {
+			plan.nodeCluster[id] = len(plan.Clusters) - 1
+		}
+	}
+	return plan, nil
+}
+
+// Params wraps the STEM parameters for graph sampling.
+type Params struct {
+	Core core.Params
+}
+
+// DefaultParams mirrors the paper's flat-sampling defaults.
+func DefaultParams() Params { return Params{Core: core.DefaultParams()} }
+
+// SampledNodes returns the distinct compute node IDs requiring detailed
+// simulation.
+func (p *GraphPlan) SampledNodes() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for i := range p.Clusters {
+		for _, s := range p.Clusters[i].Samples {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// NodeTimes builds the per-node estimated time function: sampled clusters
+// contribute the mean of their measured samples; measure(id) supplies the
+// detailed-simulation time of sampled node id. Communication nodes return
+// 0 (their cost comes from the collective model during replay).
+func (p *GraphPlan) NodeTimes(g *chakra.Graph, measure func(int) float64) (func(int) float64, error) {
+	clusterMean := make([]float64, len(p.Clusters))
+	for i := range p.Clusters {
+		c := &p.Clusters[i]
+		if len(c.Samples) == 0 {
+			return nil, errors.New("etsample: unsampled cluster")
+		}
+		var sum float64
+		for _, s := range c.Samples {
+			sum += measure(s)
+		}
+		clusterMean[i] = sum / float64(len(c.Samples))
+	}
+	return func(id int) float64 {
+		ci, ok := p.nodeCluster[id]
+		if !ok {
+			return 0
+		}
+		return clusterMean[ci]
+	}, nil
+}
+
+// Outcome reports a sampled multi-GPU simulation.
+type Outcome struct {
+	TruthUS, EstimateUS float64
+	ErrorPct            float64
+	// ComputeNodes and SampledNodes count the detailed-simulation savings.
+	ComputeNodes, SampledNodes int
+	Speedup                    float64
+}
+
+// Evaluate replays the trace with estimated node times and scores the
+// makespan against ground truth (trueUS[id] per node). measure defaults to
+// looking up trueUS, modelling a detailed simulation of the sampled nodes.
+func (p *GraphPlan) Evaluate(g *chakra.Graph, cfg multigpu.Config, trueUS []float64) (*Outcome, error) {
+	truth, err := multigpu.Simulate(g, cfg, func(id int) float64 { return trueUS[id] })
+	if err != nil {
+		return nil, err
+	}
+	nodeTime, err := p.NodeTimes(g, func(id int) float64 { return trueUS[id] })
+	if err != nil {
+		return nil, err
+	}
+	est, err := multigpu.Simulate(g, cfg, nodeTime)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		TruthUS:      truth.TotalUS,
+		EstimateUS:   est.TotalUS,
+		ComputeNodes: len(g.ComputeNodes()),
+		SampledNodes: len(p.SampledNodes()),
+	}
+	if out.TruthUS > 0 {
+		d := out.EstimateUS - out.TruthUS
+		if d < 0 {
+			d = -d
+		}
+		out.ErrorPct = d / out.TruthUS * 100
+	}
+	if out.SampledNodes > 0 {
+		out.Speedup = float64(out.ComputeNodes) / float64(out.SampledNodes)
+	}
+	return out, nil
+}

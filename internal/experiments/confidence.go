@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"stemroot/internal/hwmodel"
+	"stemroot/internal/sampling"
+	"stemroot/internal/workloads"
+)
+
+// ConfidenceResult empirically validates STEM's headline trustworthiness
+// claim: with error bound ε at confidence 1-α, at least ~(1-α) of
+// independent sampling runs must land within ε of the ground truth.
+type ConfidenceResult struct {
+	Epsilon    float64
+	Confidence float64
+	Runs       int
+	WithinPct  float64 // fraction of runs with error <= ε, in percent
+	MaxErrPct  float64
+	MeanErrPct float64
+}
+
+// Confidence repeats STEM sampling with independent seeds on a CASIO
+// workload and counts how often the realized error respects the bound.
+// Because STEM's bound is derived for the worst acceptable sample sizes
+// (and the ceiling plus full-simulation capping only tighten it), the
+// empirical coverage should be at least the nominal confidence.
+func Confidence(cfg Config, runs int) (*ConfidenceResult, error) {
+	if runs <= 0 {
+		runs = 100
+	}
+	var w = workloads.CASIO(cfg.Seed, cfg.CASIOScale)[0] // bert_infer
+	prof := hwmodel.New(hwmodel.RTX2080, w.Seed).Profile(w)
+
+	res := &ConfidenceResult{
+		Epsilon:    cfg.Epsilon,
+		Confidence: cfg.Confidence,
+		Runs:       runs,
+	}
+	within := 0
+	for r := 0; r < runs; r++ {
+		stem := &sampling.STEMRoot{Params: cfg.stemParams(cfg.Seed + uint64(r)*2654435761)}
+		plan, err := stem.Plan(w, prof)
+		if err != nil {
+			return nil, err
+		}
+		out, err := sampling.Evaluate(plan, w, prof)
+		if err != nil {
+			return nil, err
+		}
+		if out.ErrorPct <= cfg.Epsilon*100 {
+			within++
+		}
+		if out.ErrorPct > res.MaxErrPct {
+			res.MaxErrPct = out.ErrorPct
+		}
+		res.MeanErrPct += out.ErrorPct
+	}
+	res.WithinPct = float64(within) / float64(runs) * 100
+	res.MeanErrPct /= float64(runs)
+	return res, nil
+}
+
+// Render prints the validation.
+func (c *ConfidenceResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Empirical confidence validation (bert_infer)\n\n")
+	writeTable(&b,
+		[]string{"eps", "confidence", "runs", "within bound", "mean err(%)", "max err(%)"},
+		[][]string{{
+			fmt.Sprintf("%.0f%%", c.Epsilon*100),
+			fmt.Sprintf("%.0f%%", c.Confidence*100),
+			fmt.Sprintf("%d", c.Runs),
+			fmt.Sprintf("%.1f%%", c.WithinPct),
+			fmt.Sprintf("%.3f", c.MeanErrPct),
+			fmt.Sprintf("%.3f", c.MaxErrPct),
+		}})
+	return b.String()
+}

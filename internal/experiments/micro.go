@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"stemroot/internal/hwmodel"
+	"stemroot/internal/metrics"
+	"stemroot/internal/sampling"
+	"stemroot/internal/workloads"
+)
+
+// Figure14Result compares the 13 microarchitectural metrics between the
+// full workload and STEM's sampled workload (bert_infer, ε = 5%).
+type Figure14Result struct {
+	Workload string
+	Names    [13]string
+	Full     metrics.Vector
+	Sampled  metrics.Vector
+	ErrsPct  metrics.Vector
+	MaxPct   float64
+}
+
+// Figure14 runs the microarchitectural validation.
+func Figure14(cfg Config) (*Figure14Result, error) {
+	for _, w := range workloads.CASIO(cfg.Seed, cfg.CASIOScale) {
+		if w.Name != "bert_infer" {
+			continue
+		}
+		model := hwmodel.New(hwmodel.RTX2080, w.Seed)
+		prof := model.Profile(w)
+		stem := &sampling.STEMRoot{Params: cfg.stemParams(cfg.Seed)}
+		plan, err := stem.Plan(w, prof)
+		if err != nil {
+			return nil, err
+		}
+		full := metrics.Aggregate(w, model)
+		est, err := metrics.Estimate(plan, w, model)
+		if err != nil {
+			return nil, err
+		}
+		errs := metrics.RelErrorsPct(full, est)
+		return &Figure14Result{
+			Workload: w.Name,
+			Names:    metrics.Names,
+			Full:     full,
+			Sampled:  est,
+			ErrsPct:  errs,
+			MaxPct:   metrics.MaxPct(errs),
+		}, nil
+	}
+	return nil, fmt.Errorf("experiments: bert_infer missing")
+}
+
+// Render prints the metric comparison.
+func (f *Figure14Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 14: microarchitectural metrics, full vs sampled (%s)\n\n", f.Workload)
+	var rows [][]string
+	for j, name := range f.Names {
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%.4g", f.Full[j]),
+			fmt.Sprintf("%.4g", f.Sampled[j]),
+			fmt.Sprintf("%.3f", f.ErrsPct[j]),
+		})
+	}
+	writeTable(&b, []string{"metric", "full", "sampled", "error(%)"}, rows)
+	fmt.Fprintf(&b, "\nmax error: %.3f%%\n", f.MaxPct)
+	return b.String()
+}

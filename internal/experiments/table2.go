@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"stemroot/internal/hwmodel"
+	"stemroot/internal/workloads"
+)
+
+// Table2Row summarizes one suite (the paper's Table 2: workload counts,
+// average execution time, average kernel calls).
+type Table2Row struct {
+	Suite          string
+	Workloads      int
+	AvgKernelCalls float64
+	AvgTotalSec    float64 // on the RTX 2080 model
+}
+
+// Table2 profiles every suite on the RTX 2080 model and reports the
+// paper's workload-summary statistics at the configured scales.
+func Table2(cfg Config) ([]Table2Row, error) {
+	gens := []struct {
+		name  string
+		scale float64
+	}{
+		{workloads.SuiteRodinia, 1},
+		{workloads.SuiteCASIO, cfg.CASIOScale},
+		{workloads.SuiteHuggingFace, cfg.HFScale},
+	}
+	var out []Table2Row
+	for _, g := range gens {
+		ws, err := workloads.Suite(g.name, cfg.Seed, g.scale)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{Suite: g.name, Workloads: len(ws)}
+		for _, w := range ws {
+			prof := hwmodel.New(hwmodel.RTX2080, w.Seed).Profile(w)
+			row.AvgKernelCalls += float64(w.Len())
+			row.AvgTotalSec += prof.TotalTime() / 1e6
+		}
+		row.AvgKernelCalls /= float64(len(ws))
+		row.AvgTotalSec /= float64(len(ws))
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderTable2 prints the suite summary.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: workload suites (on the RTX 2080 model)\n\n")
+	var table [][]string
+	for _, r := range rows {
+		table = append(table, []string{
+			r.Suite,
+			fmt.Sprintf("%d", r.Workloads),
+			fmt.Sprintf("%.2f", r.AvgTotalSec),
+			fmt.Sprintf("%.0f", r.AvgKernelCalls),
+		})
+	}
+	writeTable(&b, []string{"suite", "workloads", "avg exec time (s)", "avg kernel calls"}, table)
+	return b.String()
+}

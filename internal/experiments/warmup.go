@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"stemroot/internal/gpu"
+	"stemroot/internal/hwmodel"
+	"stemroot/internal/kernelgen"
+	"stemroot/internal/pipeline"
+	"stemroot/internal/sampling"
+	"stemroot/internal/workloads"
+)
+
+// WarmupPoint is one setting of the §6.2 lightweight-warmup strategy.
+type WarmupPoint struct {
+	Warmup         int
+	ErrorPct       float64
+	WarmupSharePct float64 // warmup cycles / measured cycles, the cost
+}
+
+// WarmupAblation evaluates inserting 0, 1, 2, or 4 warmup kernels before
+// each sampled kernel on the reduced Rodinia workloads. The paper expects
+// little accuracy change (cache reuse is intra-kernel) at a real simulation
+// cost — quantifying why full warmup machinery is unnecessary.
+func WarmupAblation(cfg Config) ([]WarmupPoint, error) {
+	lim := kernelgen.DSELimits()
+	ws := workloads.DSERodinia(cfg.Seed, cfg.DSEMaxCalls)
+	gcfg := gpu.Baseline()
+
+	var out []WarmupPoint
+	for _, warm := range []int{0, 1, 2, 4} {
+		var errSum, warmCycles, measCycles float64
+		n := 0
+		for _, w := range ws {
+			full, err := pipeline.FullSim(w, gcfg, lim)
+			if err != nil {
+				return nil, err
+			}
+			prof := hwmodel.New(hwmodel.RTX2080, w.Seed).Profile(w)
+			stem := &sampling.STEMRoot{Params: cfg.stemParams(cfg.Seed)}
+			plan, err := stem.Plan(w, prof)
+			if err != nil {
+				return nil, err
+			}
+			times, wc, err := pipeline.SampledSimWarm(w, gcfg, lim, plan.SampledIndices(), warm)
+			if err != nil {
+				return nil, err
+			}
+			est := plan.Estimate(func(i int) float64 { return times[i] })
+			var truth float64
+			for _, c := range full {
+				truth += c
+			}
+			if truth > 0 {
+				d := est - truth
+				if d < 0 {
+					d = -d
+				}
+				errSum += d / truth * 100
+				n++
+			}
+			warmCycles += wc
+			for _, c := range times {
+				measCycles += c
+			}
+		}
+		p := WarmupPoint{Warmup: warm, ErrorPct: errSum / float64(n)}
+		if measCycles > 0 {
+			p.WarmupSharePct = warmCycles / measCycles * 100
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RenderWarmup prints the ablation.
+func RenderWarmup(pts []WarmupPoint) string {
+	var b strings.Builder
+	b.WriteString("S6.2 warmup strategy: warmup kernels before each sample (Rodinia, reduced)\n\n")
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Warmup),
+			fmt.Sprintf("%.2f", p.ErrorPct),
+			fmt.Sprintf("%.1f%%", p.WarmupSharePct),
+		})
+	}
+	writeTable(&b, []string{"warmup kernels", "error(%)", "warmup cost"}, rows)
+	return b.String()
+}

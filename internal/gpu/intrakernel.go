@@ -1,0 +1,96 @@
+package gpu
+
+import (
+	"errors"
+	"math"
+
+	"stemroot/internal/kernelgen"
+)
+
+// RunKernelSampled simulates only a subset of the kernel's thread blocks
+// and extrapolates the full kernel's cycle count — intra-kernel sampling,
+// the technique TBPoint/PKA/GPGPU-MiniBench apply inside long kernels and
+// that the paper (§7.3) notes is orthogonal to kernel-level sampling and
+// composable with it for workloads with few kernel calls.
+//
+// The extrapolation model is wave-based: a kernel with W warps executes in
+// ceil(W / residentCapacity) waves of roughly equal duration, so cycles
+// scale with the wave count. maxBlocks must be positive; when it is at
+// least the kernel's block count the kernel is simply simulated in full.
+func (s *Simulator) RunKernelSampled(spec *kernelgen.Spec, maxBlocks int) (KernelResult, error) {
+	if maxBlocks <= 0 {
+		return KernelResult{}, errors.New("gpu: maxBlocks must be positive")
+	}
+	// Accuracy floor: sample at least two full waves of blocks. The first
+	// wave runs against cold caches; from the second onward the kernel's
+	// intra-kernel reuse is in steady state, so the fit's slope (cost per
+	// additional wave) is measured warm and the intercept absorbs the
+	// cold start.
+	capacityBlocks := (s.cfg.SMs*s.cfg.WarpSlots + spec.WarpsPerBlock - 1) / spec.WarpsPerBlock
+	if maxBlocks < 2*capacityBlocks {
+		maxBlocks = 2 * capacityBlocks
+	}
+	if maxBlocks >= spec.Blocks {
+		return s.RunKernel(spec), nil
+	}
+
+	// Two-point extrapolation: simulate at maxBlocks and at half that, fit
+	// cycles as an affine function of wave count, and evaluate at the full
+	// launch's waves. The affine fit absorbs scale-dependent effects a
+	// naive proportional model misses (cross-warp cache sharing grows with
+	// resident blocks, cold-start costs do not scale with waves).
+	capacity := s.cfg.SMs * s.cfg.WarpSlots
+	run := func(blocks int) (KernelResult, float64) {
+		sub := *spec
+		sub.Blocks = blocks
+		return s.RunKernel(&sub), waveCount(blocks*spec.WarpsPerBlock, capacity)
+	}
+
+	resB, wavesB := run(maxBlocks)
+	wavesFull := waveCount(spec.Blocks*spec.WarpsPerBlock, capacity)
+
+	half := maxBlocks / 2
+	res := resB
+	if half >= 1 {
+		resH, wavesH := run(half)
+		if wavesB > wavesH {
+			slope := (resB.Cycles - resH.Cycles) / (wavesB - wavesH)
+			if slope > 0 {
+				res.Cycles = resB.Cycles + slope*(wavesFull-wavesB)
+			} else {
+				res.Cycles = resB.Cycles * wavesFull / wavesB
+			}
+		} else {
+			res.Cycles = resB.Cycles * wavesFull / wavesB
+		}
+	} else {
+		res.Cycles = resB.Cycles * wavesFull / wavesB
+	}
+	res.Instructions = int64(float64(resB.Instructions) *
+		float64(spec.Blocks) / float64(maxBlocks))
+	return res, nil
+}
+
+// waveCount returns the (fractional for the last partial wave) number of
+// warp waves a launch of the given warp count occupies.
+func waveCount(warps, capacity int) float64 {
+	if capacity <= 0 {
+		return 1
+	}
+	full := math.Floor(float64(warps) / float64(capacity))
+	rem := warps - int(full)*capacity
+	if rem == 0 {
+		if full == 0 {
+			return 1
+		}
+		return full
+	}
+	// A partial wave still costs close to a full one once it saturates a
+	// meaningful share of the machine; model it as its occupancy with a
+	// floor of half a wave.
+	frac := float64(rem) / float64(capacity)
+	if frac < 0.5 {
+		frac = 0.5
+	}
+	return full + frac
+}

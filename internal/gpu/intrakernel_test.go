@@ -1,0 +1,96 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"stemroot/internal/kernelgen"
+	"stemroot/internal/trace"
+)
+
+func bigKernel() *kernelgen.Spec {
+	inv := trace.Invocation{
+		Seq:   1,
+		Name:  "lavamd_like",
+		Grid:  trace.Dim3{X: 1000},
+		Block: trace.Dim3{X: 128},
+		Latent: trace.Latent{
+			MemIntensity:   0.3,
+			FootprintBytes: 1 << 20,
+			Locality:       0.8,
+			ComputeWork:    4e9,
+		},
+		BBVSeed: 3,
+	}
+	lim := kernelgen.DefaultLimits()
+	lim.MaxBlocks = 512 // allow a genuinely large launch
+	s := kernelgen.FromInvocation(&inv, lim)
+	return &s
+}
+
+func TestRunKernelSampledAccuracy(t *testing.T) {
+	spec := bigKernel()
+	full := mustSim(t, Baseline()).RunKernel(spec)
+
+	sampled, err := mustSim(t, Baseline()).RunKernelSampled(spec, spec.Blocks/8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(sampled.Cycles-full.Cycles) / full.Cycles
+	if rel > 0.15 {
+		t.Fatalf("intra-kernel estimate off by %.1f%% (%v vs %v)",
+			rel*100, sampled.Cycles, full.Cycles)
+	}
+}
+
+func TestRunKernelSampledIsCheaper(t *testing.T) {
+	spec := bigKernel()
+	fullRes := mustSim(t, Baseline()).RunKernel(spec)
+	sub := *spec
+	sub.Blocks = spec.Blocks / 8
+	subRes := mustSim(t, Baseline()).RunKernel(&sub)
+	if subRes.Instructions >= fullRes.Instructions/4 {
+		t.Fatalf("sampled run simulated %d of %d instructions — not cheaper",
+			subRes.Instructions, fullRes.Instructions)
+	}
+}
+
+func TestRunKernelSampledDegenerate(t *testing.T) {
+	spec := bigKernel()
+	sim := mustSim(t, Baseline())
+	if _, err := sim.RunKernelSampled(spec, 0); err == nil {
+		t.Fatal("expected error for maxBlocks=0")
+	}
+	full := mustSim(t, Baseline()).RunKernel(spec)
+	same, err := mustSim(t, Baseline()).RunKernelSampled(spec, spec.Blocks*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Cycles != full.Cycles {
+		t.Fatal("maxBlocks >= Blocks should run the full kernel")
+	}
+}
+
+func TestWaveCount(t *testing.T) {
+	if got := waveCount(512, 512); got != 1 {
+		t.Fatalf("one exact wave = %v", got)
+	}
+	if got := waveCount(1024, 512); got != 2 {
+		t.Fatalf("two exact waves = %v", got)
+	}
+	if got := waveCount(600, 512); got < 1.5 || got > 2 {
+		t.Fatalf("partial wave = %v", got)
+	}
+	// Sub-capacity launches floor at half a wave, so the ratio of two
+	// sub-capacity launches (the extrapolation's only use of this value)
+	// is 1.
+	if got := waveCount(10, 512); got != 0.5 {
+		t.Fatalf("sub-capacity launch = %v, want 0.5", got)
+	}
+	if waveCount(10, 512) != waveCount(100, 512) {
+		t.Fatal("two small launches should extrapolate 1:1")
+	}
+	if got := waveCount(100, 0); got != 1 {
+		t.Fatalf("zero capacity = %v", got)
+	}
+}

@@ -1,0 +1,240 @@
+package gpu
+
+import (
+	"container/heap"
+	"fmt"
+
+	"stemroot/internal/kernelgen"
+)
+
+// KernelResult reports one simulated kernel execution.
+type KernelResult struct {
+	Cycles       float64
+	Instructions int64
+	L1HitRate    float64
+	L2HitRate    float64
+}
+
+// Simulator executes kernels on the configured GPU. The shared L2 persists
+// across kernels within a Simulator (real GPUs retain L2 state across kernel
+// boundaries), enabling the §6.2 inter-kernel reuse ablation via
+// Config.FlushL2BetweenKernels.
+type Simulator struct {
+	cfg Config
+	l2  *Cache
+}
+
+// New validates the configuration and returns a simulator with cold caches.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg, l2: NewCache(cfg.L2)}, nil
+}
+
+// Config returns the simulator's configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// mshrState tracks one SM's outstanding-miss slots (miss status holding
+// registers). A miss occupies a slot until its fill returns; when every
+// slot is busy the next miss stalls until the earliest fill.
+type mshrState struct {
+	release []float64
+}
+
+// acquire reserves a slot for a miss issued at time t with the given fill
+// latency, returning the actual issue time (>= t when all slots are busy).
+func (m *mshrState) acquire(t, latency float64, cap int) float64 {
+	if cap <= 0 {
+		return t
+	}
+	if len(m.release) < cap {
+		m.release = append(m.release, t+latency)
+		return t
+	}
+	minIdx := 0
+	for i, r := range m.release {
+		if r < m.release[minIdx] {
+			minIdx = i
+		}
+	}
+	issue := t
+	if r := m.release[minIdx]; r > t {
+		issue = r
+	}
+	m.release[minIdx] = issue + latency
+	return issue
+}
+
+// warpState is one resident warp in the event engine.
+type warpState struct {
+	sm     int
+	stream *kernelgen.Stream
+	ready  float64 // cycle at which the warp can issue its next instruction
+}
+
+// warpHeap orders warps by readiness.
+type warpHeap []*warpState
+
+func (h warpHeap) Len() int            { return len(h) }
+func (h warpHeap) Less(i, j int) bool  { return h[i].ready < h[j].ready }
+func (h warpHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *warpHeap) Push(x interface{}) { *h = append(*h, x.(*warpState)) }
+func (h *warpHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// RunKernel simulates one kernel to completion and returns its cycle count
+// and cache behaviour. The engine is event-driven but cycle-accurate in its
+// accounting: per-SM issue bandwidth, dependency stalls, L1/L2/DRAM
+// latencies, and global DRAM bandwidth queueing all advance the clock.
+func (s *Simulator) RunKernel(spec *kernelgen.Spec) KernelResult {
+	cfg := s.cfg
+	if cfg.FlushL2BetweenKernels {
+		s.l2.Flush()
+	}
+
+	l1s := make([]*Cache, cfg.SMs)
+	for i := range l1s {
+		l1s[i] = NewCache(cfg.L1)
+	}
+	s.l2.ResetStats()
+
+	// Assign blocks to SMs round-robin; expand to a per-SM pending warp
+	// list in launch order.
+	pending := make([][]int, cfg.SMs) // global warp ids
+	totalWarps := spec.TotalWarps()
+	for b := 0; b < spec.Blocks; b++ {
+		sm := b % cfg.SMs
+		for w := 0; w < spec.WarpsPerBlock; w++ {
+			pending[sm] = append(pending[sm], b*spec.WarpsPerBlock+w)
+		}
+	}
+
+	issueClock := make([]float64, cfg.SMs)
+	issueStep := 1.0 / float64(cfg.IssueWidth)
+	activeBySM := make([]int, cfg.SMs)
+	nextPending := make([]int, cfg.SMs)
+	mshrs := make([]mshrState, cfg.SMs)
+
+	h := make(warpHeap, 0, totalWarps)
+	activate := func(sm int, at float64) {
+		for activeBySM[sm] < cfg.WarpSlots && nextPending[sm] < len(pending[sm]) {
+			id := pending[sm][nextPending[sm]]
+			nextPending[sm]++
+			activeBySM[sm]++
+			heap.Push(&h, &warpState{sm: sm, stream: spec.NewStream(id), ready: at})
+		}
+	}
+	for sm := 0; sm < cfg.SMs; sm++ {
+		activate(sm, 0)
+	}
+
+	var (
+		finish   float64
+		instrs   int64
+		dramFree float64
+		l1Hits   uint64
+		l1Misses uint64
+	)
+
+	for h.Len() > 0 {
+		w := heap.Pop(&h).(*warpState)
+		ins, ok := w.stream.Next()
+		if !ok {
+			activeBySM[w.sm]--
+			if w.ready > finish {
+				finish = w.ready
+			}
+			activate(w.sm, w.ready)
+			continue
+		}
+		instrs++
+
+		t := w.ready
+		if issueClock[w.sm] > t {
+			t = issueClock[w.sm]
+		}
+		issueClock[w.sm] = t + issueStep
+
+		var lat float64
+		switch ins.Kind {
+		case kernelgen.OpALU, kernelgen.OpFP32:
+			lat = float64(cfg.ALULatency)
+		case kernelgen.OpFP16:
+			lat = float64(cfg.FP16Latency)
+		case kernelgen.OpSFU:
+			lat = float64(cfg.SFULatency)
+		case kernelgen.OpBranch:
+			// Divergent branches serialize both paths.
+			lat = float64(cfg.ALULatency) * (1 + 2*spec.BranchDivergence)
+		case kernelgen.OpSync:
+			lat = float64(cfg.ALULatency)
+		case kernelgen.OpLoad, kernelgen.OpStore:
+			l1 := l1s[w.sm]
+			if l1.Access(ins.Addr) {
+				lat = float64(cfg.L1Latency)
+				l1Hits++
+			} else {
+				l1Misses++
+				var fill float64
+				if s.l2.Access(ins.Addr) {
+					fill = float64(cfg.L2Latency)
+				} else {
+					// DRAM: latency plus bandwidth queueing.
+					queue := dramFree - t
+					if queue < 0 {
+						queue = 0
+					}
+					service := float64(s.l2.LineBytes()) / cfg.DRAMBytesPerCycle
+					if dramFree < t {
+						dramFree = t
+					}
+					dramFree += service
+					fill = float64(cfg.DRAMLatency) + queue
+				}
+				// An L1 miss needs an MSHR; a full MSHR file delays the
+				// miss until the earliest outstanding fill returns.
+				issue := mshrs[w.sm].acquire(t, fill, cfg.MSHRsPerSM)
+				lat = (issue - t) + fill
+			}
+		}
+
+		w.ready = t + cfg.DependencyFraction*lat
+		heap.Push(&h, w)
+	}
+
+	res := KernelResult{
+		Cycles:       finish,
+		Instructions: instrs,
+		L2HitRate:    s.l2.HitRate(),
+	}
+	if tot := l1Hits + l1Misses; tot > 0 {
+		res.L1HitRate = float64(l1Hits) / float64(tot)
+	}
+	return res
+}
+
+// RunSpecs simulates a sequence of kernels in order, preserving L2 state
+// between them, and returns the per-kernel results and total cycle count.
+func (s *Simulator) RunSpecs(specs []*kernelgen.Spec) ([]KernelResult, float64) {
+	results := make([]KernelResult, len(specs))
+	var total float64
+	for i, sp := range specs {
+		results[i] = s.RunKernel(sp)
+		total += results[i].Cycles
+	}
+	return results, total
+}
+
+// String describes the configuration, useful in experiment logs.
+func (s *Simulator) String() string {
+	c := s.cfg
+	return fmt.Sprintf("gpu(%s: %d SMs, L1 %dKiB, L2 %dKiB)",
+		c.Name, c.SMs, c.L1.SizeBytes>>10, c.L2.SizeBytes>>10)
+}

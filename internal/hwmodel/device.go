@@ -1,0 +1,97 @@
+// Package hwmodel implements the parametric GPU hardware timing model that
+// stands in for the paper's physical GPUs (RTX 2080 for profiling, H100 and
+// H200 for the cross-GPU portability study).
+//
+// The model maps an invocation's latent behaviour and a device configuration
+// to an execution time via a roofline-style combination of compute and
+// memory time, plus launch overhead and multiplicative jitter whose width
+// grows with memory intensity — reproducing the paper's Observation 1: the
+// same kernel shows narrow peaks per usage context when compute-bound and
+// wide, heavy-tailed distributions when memory-bound.
+//
+// Times are deterministic given (workload seed, invocation sequence, device
+// name), so the "ground truth" total execution time of a workload is an
+// exactly reproducible quantity.
+package hwmodel
+
+import "fmt"
+
+// Device is a GPU hardware configuration.
+type Device struct {
+	Name string
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// FP32GopsPerUS is aggregate FP32 throughput in giga-ops per
+	// microsecond (= TFLOPS / 1e6 * 1e3... expressed directly as ops/µs
+	// divided by 1e3 for convenient magnitudes: 1.0 means 1e3 Mops/µs).
+	FP32OpsPerUS float64
+	// FP16Mult is the speedup factor for half-precision (tensor-core) work.
+	FP16Mult float64
+	// MemBytesPerUS is DRAM bandwidth in bytes per microsecond.
+	MemBytesPerUS float64
+	// L2Bytes is the last-level cache capacity.
+	L2Bytes int64
+	// LaunchOverheadUS is the fixed per-kernel launch latency.
+	LaunchOverheadUS float64
+	// JitterScale scales the width of run-to-run execution time noise;
+	// 1.0 is the calibrated default.
+	JitterScale float64
+	// WarpsPerSM is the number of resident warps an SM can hold; together
+	// with SMs it bounds achievable parallelism.
+	WarpsPerSM int
+}
+
+// Predefined devices. Magnitudes follow the public spec sheets closely
+// enough that relative behaviour (H200 vs H100: +43% bandwidth, same
+// compute; RTX 2080: far smaller everything) is preserved.
+var (
+	RTX2080 = Device{
+		Name:             "rtx2080",
+		SMs:              46,
+		FP32OpsPerUS:     10e6, // ~10 TFLOPS
+		FP16Mult:         2.0,
+		MemBytesPerUS:    448e3, // ~448 GB/s
+		L2Bytes:          4 << 20,
+		LaunchOverheadUS: 4.0,
+		JitterScale:      1.0,
+		WarpsPerSM:       32,
+	}
+	H100 = Device{
+		Name:             "h100",
+		SMs:              132,
+		FP32OpsPerUS:     67e6,   // ~67 TFLOPS
+		FP16Mult:         6.0,    // tensor cores
+		MemBytesPerUS:    3350e3, // ~3.35 TB/s
+		L2Bytes:          50 << 20,
+		LaunchOverheadUS: 2.5,
+		JitterScale:      1.0,
+		WarpsPerSM:       64,
+	}
+	H200 = Device{
+		Name:             "h200",
+		SMs:              132,
+		FP32OpsPerUS:     67e6,
+		FP16Mult:         6.0,
+		MemBytesPerUS:    4800e3, // ~4.8 TB/s: the memory-subsystem upgrade
+		L2Bytes:          50 << 20,
+		LaunchOverheadUS: 2.5,
+		JitterScale:      1.0,
+		WarpsPerSM:       64,
+	}
+)
+
+// ByName returns a predefined device.
+func ByName(name string) (Device, error) {
+	switch name {
+	case "rtx2080":
+		return RTX2080, nil
+	case "h100":
+		return H100, nil
+	case "h200":
+		return H200, nil
+	}
+	return Device{}, fmt.Errorf("hwmodel: unknown device %q", name)
+}
+
+// MaxWarps returns the device's resident warp capacity.
+func (d Device) MaxWarps() int { return d.SMs * d.WarpsPerSM }

@@ -1,0 +1,223 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+
+	"stemroot/internal/stats"
+	"stemroot/internal/trace"
+)
+
+func computeBound() trace.Invocation {
+	return trace.Invocation{
+		Seq:           1,
+		Name:          "sgemm",
+		Grid:          trace.Dim3{X: 512},
+		Block:         trace.Dim3{X: 256},
+		InstrsPerWarp: 40000,
+		Latent: trace.Latent{
+			MemIntensity:   0.1,
+			FootprintBytes: 2 << 20,
+			Locality:       0.9,
+			ComputeWork:    8e9,
+		},
+	}
+}
+
+func memoryBound() trace.Invocation {
+	return trace.Invocation{
+		Seq:           2,
+		Name:          "embedding_gather",
+		Grid:          trace.Dim3{X: 512},
+		Block:         trace.Dim3{X: 256},
+		InstrsPerWarp: 20000,
+		Latent: trace.Latent{
+			MemIntensity:   0.9,
+			FootprintBytes: 2 << 30,
+			Locality:       0.1,
+			RandomAccess:   0.8,
+			ComputeWork:    1e7,
+		},
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"rtx2080", "h100", "h200"} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Name != name {
+			t.Fatalf("device name mismatch: %q", d.Name)
+		}
+	}
+	if _, err := ByName("mi300x"); err == nil {
+		t.Fatal("expected error for unknown device")
+	}
+}
+
+func TestTimePositiveAndDeterministic(t *testing.T) {
+	m := New(RTX2080, 42)
+	inv := computeBound()
+	a := m.Time(&inv)
+	b := m.Time(&inv)
+	if a <= 0 {
+		t.Fatalf("time = %v", a)
+	}
+	if a != b {
+		t.Fatal("timing not deterministic")
+	}
+}
+
+func TestFasterDeviceIsFaster(t *testing.T) {
+	inv := computeBound()
+	slow := New(RTX2080, 1).Time(&inv)
+	fast := New(H100, 1).Time(&inv)
+	if fast >= slow {
+		t.Fatalf("H100 (%v µs) should beat RTX2080 (%v µs) on compute-bound work", fast, slow)
+	}
+}
+
+func TestH200HelpsMemoryBoundMoreThanCompute(t *testing.T) {
+	mb := memoryBound()
+	cb := computeBound()
+	h100 := New(H100, 1)
+	h200 := New(H200, 1)
+	memGain := h100.baseTime(&mb) / h200.baseTime(&mb)
+	compGain := h100.baseTime(&cb) / h200.baseTime(&cb)
+	if memGain <= compGain {
+		t.Fatalf("H200 bandwidth upgrade should help memory-bound work more: mem %v vs comp %v", memGain, compGain)
+	}
+	if memGain < 1.1 {
+		t.Fatalf("memory-bound speedup on H200 only %v", memGain)
+	}
+}
+
+func TestJitterWidthTracksMemoryIntensity(t *testing.T) {
+	m := New(RTX2080, 7)
+	cb, mb := computeBound(), memoryBound()
+	if m.jitterSigma(&cb) >= m.jitterSigma(&mb) {
+		t.Fatal("memory-bound kernel should have wider jitter")
+	}
+
+	// Empirically: CoV of repeated draws must be far larger for the
+	// memory-bound kernel (paper Figure 1: max_pool wide vs sgemm narrow).
+	covOf := func(base trace.Invocation) float64 {
+		times := make([]float64, 2000)
+		for i := range times {
+			inv := base
+			inv.Seq = i
+			times[i] = m.Time(&inv)
+		}
+		return stats.CoV(times)
+	}
+	covCompute, covMemory := covOf(cb), covOf(mb)
+	if covMemory < 2*covCompute {
+		t.Fatalf("memory CoV %v should dwarf compute CoV %v", covMemory, covCompute)
+	}
+}
+
+func TestJitterUnbiased(t *testing.T) {
+	// The mean of many jittered draws must converge to the base time.
+	m := New(RTX2080, 9)
+	base := computeBound()
+	want := m.baseTime(&base)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		inv := base
+		inv.Seq = i
+		sum += m.Time(&inv)
+	}
+	got := sum / n
+	if math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("mean time %v deviates from base %v", got, want)
+	}
+}
+
+func TestContextsSeparateThroughLatent(t *testing.T) {
+	// Two contexts with different work sizes must produce well-separated
+	// time distributions (the multi-peak mechanism of Figure 1).
+	m := New(RTX2080, 11)
+	var small, large []float64
+	for i := 0; i < 500; i++ {
+		inv := computeBound()
+		inv.Seq = i
+		small = append(small, m.Time(&inv))
+		inv.Seq = i + 1000
+		inv.Latent.ComputeWork *= 4
+		large = append(large, m.Time(&inv))
+	}
+	maxSmall, _ := stats.Max(small)
+	minLarge, _ := stats.Min(large)
+	if maxSmall >= minLarge {
+		t.Fatalf("context peaks overlap: max(small)=%v min(large)=%v", maxSmall, minLarge)
+	}
+}
+
+func TestProfileShape(t *testing.T) {
+	w := &trace.Workload{Name: "t", Seed: 3}
+	for i := 0; i < 10; i++ {
+		inv := computeBound()
+		inv.Seq = i
+		w.Invs = append(w.Invs, inv)
+	}
+	p := New(RTX2080, w.Seed).Profile(w)
+	if err := p.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+	if p.Device != "rtx2080" {
+		t.Fatalf("device = %q", p.Device)
+	}
+	if p.TotalTime() <= 0 {
+		t.Fatal("non-positive total")
+	}
+}
+
+func TestMicroMetricsShape(t *testing.T) {
+	m := New(RTX2080, 5)
+	inv := memoryBound()
+	mm := m.Micro(&inv)
+	for i, v := range mm {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("metric %s = %v", MicroNames[i], v)
+		}
+	}
+	// Rates stay in [0,1].
+	for i, isCount := range CountMetrics {
+		if !isCount && mm[i] > 1 {
+			t.Fatalf("rate metric %s = %v > 1", MicroNames[i], mm[i])
+		}
+	}
+	// Deterministic.
+	if m.Micro(&inv) != mm {
+		t.Fatal("micro metrics not deterministic")
+	}
+}
+
+func TestMicroMetricsReflectLatent(t *testing.T) {
+	m := New(RTX2080, 6)
+	cb, mb := computeBound(), memoryBound()
+	mmC, mmM := m.Micro(&cb), m.Micro(&mb)
+	if mmM[7] >= mmC[7] {
+		t.Fatalf("low-locality kernel should have lower L2 hit rate: %v vs %v", mmM[7], mmC[7])
+	}
+	if mmC[9] <= mmM[9] {
+		t.Fatal("compute-bound kernel should have more FP32 ops")
+	}
+}
+
+func TestLaunchOverheadFloor(t *testing.T) {
+	// A trivial kernel's time approaches launch overhead.
+	inv := trace.Invocation{
+		Seq: 1, Name: "noop",
+		Grid: trace.Dim3{X: 1}, Block: trace.Dim3{X: 32},
+		Latent: trace.Latent{ComputeWork: 1, FootprintBytes: 64, Locality: 1},
+	}
+	m := New(RTX2080, 8)
+	if got := m.baseTime(&inv); got < RTX2080.LaunchOverheadUS {
+		t.Fatalf("time %v below launch overhead", got)
+	} else if got > RTX2080.LaunchOverheadUS*1.5 {
+		t.Fatalf("trivial kernel time %v too far above overhead", got)
+	}
+}

@@ -1,0 +1,187 @@
+package kernelgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stemroot/internal/trace"
+)
+
+func testInv() trace.Invocation {
+	return trace.Invocation{
+		Seq:   3,
+		Name:  "sgemm",
+		Grid:  trace.Dim3{X: 128},
+		Block: trace.Dim3{X: 256},
+		Latent: trace.Latent{
+			MemIntensity:   0.4,
+			FootprintBytes: 1 << 20,
+			Locality:       0.5,
+			ComputeWork:    5e8,
+			FP16Frac:       0.3,
+		},
+		BBVSeed: 99,
+	}
+}
+
+func TestFromInvocationBounds(t *testing.T) {
+	inv := testInv()
+	lim := DefaultLimits()
+	spec := FromInvocation(&inv, lim)
+	if spec.Blocks < 1 || spec.Blocks > lim.MaxBlocks {
+		t.Fatalf("blocks = %d", spec.Blocks)
+	}
+	if spec.WarpsPerBlock < 1 || spec.WarpsPerBlock > lim.MaxWarpsPerBlock {
+		t.Fatalf("warps per block = %d", spec.WarpsPerBlock)
+	}
+	if spec.InstrsPerWarp < lim.MinInstrsPerWarp || spec.InstrsPerWarp > lim.MaxInstrsPerWarp {
+		t.Fatalf("instrs per warp = %d", spec.InstrsPerWarp)
+	}
+	if spec.TotalWarps() != spec.Blocks*spec.WarpsPerBlock {
+		t.Fatal("TotalWarps inconsistent")
+	}
+}
+
+func TestFromInvocationDegenerateLaunch(t *testing.T) {
+	inv := trace.Invocation{Name: "tiny"} // zero grid/block
+	spec := FromInvocation(&inv, DefaultLimits())
+	if spec.Blocks != 1 || spec.WarpsPerBlock != 1 {
+		t.Fatalf("degenerate launch gave %d blocks x %d warps", spec.Blocks, spec.WarpsPerBlock)
+	}
+}
+
+func TestStreamLengthAndDeterminism(t *testing.T) {
+	inv := testInv()
+	spec := FromInvocation(&inv, DefaultLimits())
+	a, b := spec.NewStream(0), spec.NewStream(0)
+	count := 0
+	for {
+		ia, oka := a.Next()
+		ib, okb := b.Next()
+		if oka != okb || ia != ib {
+			t.Fatal("streams for same warp differ")
+		}
+		if !oka {
+			break
+		}
+		count++
+	}
+	if count != spec.InstrsPerWarp {
+		t.Fatalf("stream length %d != spec %d", count, spec.InstrsPerWarp)
+	}
+}
+
+func TestStreamsDifferAcrossWarps(t *testing.T) {
+	inv := testInv()
+	spec := FromInvocation(&inv, DefaultLimits())
+	a, b := spec.NewStream(0), spec.NewStream(1)
+	diff := false
+	for {
+		ia, oka := a.Next()
+		ib, okb := b.Next()
+		if !oka || !okb {
+			break
+		}
+		if ia != ib {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("warp 0 and warp 1 streams identical")
+	}
+}
+
+func TestInstructionMixTracksLatent(t *testing.T) {
+	mem := testInv()
+	mem.Latent.MemIntensity = 0.9
+	comp := testInv()
+	comp.Latent.MemIntensity = 0.05
+
+	countMem := func(inv trace.Invocation) float64 {
+		spec := FromInvocation(&inv, DefaultLimits())
+		memOps, total := 0, 0
+		for w := 0; w < 8; w++ {
+			st := spec.NewStream(w)
+			for {
+				ins, ok := st.Next()
+				if !ok {
+					break
+				}
+				total++
+				if ins.Kind == OpLoad || ins.Kind == OpStore {
+					memOps++
+				}
+			}
+		}
+		return float64(memOps) / float64(total)
+	}
+	if mf, cf := countMem(mem), countMem(comp); mf <= cf*2 {
+		t.Fatalf("memory-bound mix %v should dwarf compute-bound %v", mf, cf)
+	}
+}
+
+func TestAddressesWithinFootprint(t *testing.T) {
+	check := func(seed uint64) bool {
+		inv := testInv()
+		inv.BBVSeed = seed
+		inv.Latent.RandomAccess = 0.5
+		spec := FromInvocation(&inv, DefaultLimits())
+		footprint := uint64(spec.FootprintBytes)
+		st := spec.NewStream(int(seed % 8))
+		for {
+			ins, ok := st.Next()
+			if !ok {
+				return true
+			}
+			if ins.Kind != OpLoad && ins.Kind != OpStore {
+				continue
+			}
+			if ins.Addr%128 != 0 {
+				return false // must be line-aligned
+			}
+			inActivations := ins.Addr >= spec.BaseAddr-footprint && ins.Addr <= spec.BaseAddr+2*footprint
+			inWeights := ins.Addr >= spec.WeightsAddr && ins.Addr <= spec.WeightsAddr+footprint
+			if !inActivations && !inWeights {
+				return false // outside both of the kernel's regions
+			}
+		}
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalityIncreasesReuse(t *testing.T) {
+	reuseRate := func(locality float64) float64 {
+		inv := testInv()
+		inv.Latent.Locality = locality
+		inv.Latent.FootprintBytes = 64 << 20 // too big to revisit by accident
+		inv.Latent.RandomAccess = 1
+		spec := FromInvocation(&inv, DefaultLimits())
+		seen := make(map[uint64]bool)
+		reuse, total := 0, 0
+		st := spec.NewStream(0)
+		for {
+			ins, ok := st.Next()
+			if !ok {
+				break
+			}
+			if ins.Kind != OpLoad && ins.Kind != OpStore {
+				continue
+			}
+			total++
+			if seen[ins.Addr] {
+				reuse++
+			}
+			seen[ins.Addr] = true
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(reuse) / float64(total)
+	}
+	if hi, lo := reuseRate(0.9), reuseRate(0.0); hi <= lo+0.2 {
+		t.Fatalf("locality 0.9 reuse %v should exceed locality 0 reuse %v", hi, lo)
+	}
+}

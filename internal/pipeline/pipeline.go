@@ -1,0 +1,116 @@
+// Package pipeline wires the paper's Figure 5 end-to-end flow together:
+// a lightweight kernel profiler measures execution times on the profiling
+// hardware, a sampling method turns the trace (and, for STEM, the profile)
+// into sampling information, the cycle-level simulator runs only the sampled
+// kernels, and the weighted-sum estimator extrapolates full-workload cycles.
+package pipeline
+
+import (
+	"errors"
+
+	"stemroot/internal/gpu"
+	"stemroot/internal/hwmodel"
+	"stemroot/internal/kernelgen"
+	"stemroot/internal/sampling"
+	"stemroot/internal/trace"
+)
+
+// FullSim simulates every invocation of the workload in order on a fresh
+// simulator, returning per-invocation cycle counts. This is the ground
+// truth sampled simulation is compared against — and the cost it avoids.
+func FullSim(w *trace.Workload, cfg gpu.Config, lim kernelgen.Limits) ([]float64, error) {
+	sim, err := gpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cycles := make([]float64, w.Len())
+	for i := range w.Invs {
+		spec := kernelgen.FromInvocation(&w.Invs[i], lim)
+		cycles[i] = sim.RunKernel(&spec).Cycles
+	}
+	return cycles, nil
+}
+
+// SampledSim simulates only the given invocation indices (in workload
+// order) on a fresh simulator, returning cycles per simulated index. L2
+// state persists across the sampled kernels exactly as it would across a
+// sampled trace replay.
+func SampledSim(w *trace.Workload, cfg gpu.Config, lim kernelgen.Limits, indices []int) (map[int]float64, error) {
+	sim, err := gpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]float64, len(indices))
+	for _, ix := range indices {
+		if ix < 0 || ix >= w.Len() {
+			return nil, errors.New("pipeline: sample index out of range")
+		}
+		spec := kernelgen.FromInvocation(&w.Invs[ix], lim)
+		out[ix] = sim.RunKernel(&spec).Cycles
+	}
+	return out, nil
+}
+
+// Result is one end-to-end sampled-simulation evaluation on the simulator.
+type Result struct {
+	Outcome sampling.Outcome
+	// FullCycles is the ground-truth total; SampledCycles the cost of the
+	// sampled simulation; EstimateCycles the extrapolated total.
+	FullCycles, SampledCycles, EstimateCycles float64
+}
+
+// Run profiles the workload on the profiling device, builds the method's
+// plan, runs the sampled simulation, and scores it against the supplied
+// ground-truth per-invocation cycles (computed once by FullSim so several
+// methods can share it).
+func Run(w *trace.Workload, profDev hwmodel.Device, method sampling.Method,
+	cfg gpu.Config, lim kernelgen.Limits, fullCycles []float64) (*Result, error) {
+
+	if len(fullCycles) != w.Len() {
+		return nil, errors.New("pipeline: ground-truth cycles length mismatch")
+	}
+	prof := hwmodel.New(profDev, w.Seed).Profile(w)
+	plan, err := method.Plan(w, prof)
+	if err != nil {
+		return nil, err
+	}
+
+	indices := plan.SampledIndices()
+	sampled, err := SampledSim(w, cfg, lim, indices)
+	if err != nil {
+		return nil, err
+	}
+
+	est := plan.Estimate(func(i int) float64 { return sampled[i] })
+	var truth, cost float64
+	for _, c := range fullCycles {
+		truth += c
+	}
+	for _, c := range sampled {
+		cost += c
+	}
+
+	res := &Result{
+		FullCycles:     truth,
+		SampledCycles:  cost,
+		EstimateCycles: est,
+	}
+	res.Outcome = sampling.Outcome{
+		Method:   plan.Method,
+		Workload: w.Name,
+		Samples:  len(indices),
+		Estimate: est,
+		Truth:    truth,
+	}
+	if cost > 0 {
+		res.Outcome.Speedup = truth / cost
+	}
+	if truth > 0 {
+		d := est - truth
+		if d < 0 {
+			d = -d
+		}
+		res.Outcome.ErrorPct = d / truth * 100
+	}
+	return res, nil
+}

@@ -1,0 +1,108 @@
+package pipeline
+
+import (
+	"testing"
+
+	"stemroot/internal/gpu"
+	"stemroot/internal/hwmodel"
+	"stemroot/internal/kernelgen"
+	"stemroot/internal/sampling"
+	"stemroot/internal/trace"
+	"stemroot/internal/workloads"
+)
+
+func dseWorkload(t testing.TB, name string, calls int) *trace.Workload {
+	t.Helper()
+	for _, w := range workloads.DSERodinia(1, calls) {
+		if w.Name == name {
+			return w
+		}
+	}
+	t.Fatalf("workload %q not in DSE suite", name)
+	return nil
+}
+
+func TestFullSimProducesCycles(t *testing.T) {
+	w := dseWorkload(t, "heartwall", 30)
+	cycles, err := FullSim(w, gpu.Baseline(), kernelgen.DSELimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cycles) != w.Len() {
+		t.Fatal("cycle count length mismatch")
+	}
+	for i, c := range cycles {
+		if c <= 0 {
+			t.Fatalf("invocation %d has %v cycles", i, c)
+		}
+	}
+	// The anomalous first call must be far cheaper than the second.
+	if cycles[0] > cycles[1]/3 {
+		t.Fatalf("first-call anomaly lost in simulation: %v vs %v", cycles[0], cycles[1])
+	}
+}
+
+func TestSampledSimSubset(t *testing.T) {
+	w := dseWorkload(t, "lud", 30)
+	got, err := SampledSim(w, gpu.Baseline(), kernelgen.DSELimits(), []int{0, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("sampled %d kernels", len(got))
+	}
+	if _, err := SampledSim(w, gpu.Baseline(), kernelgen.DSELimits(), []int{999999}); err == nil {
+		t.Fatal("expected error for out-of-range index")
+	}
+}
+
+func TestRunSTEMOnSimulator(t *testing.T) {
+	w := dseWorkload(t, "heartwall", 40)
+	lim := kernelgen.DSELimits()
+	cfg := gpu.Baseline()
+	full, err := FullSim(w, cfg, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, hwmodel.RTX2080, sampling.NewSTEMRoot(1), cfg, lim, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.ErrorPct > 15 {
+		t.Fatalf("STEM simulator error = %v%%", res.Outcome.ErrorPct)
+	}
+	if res.Outcome.Speedup <= 1 {
+		t.Fatalf("no speedup: %v", res.Outcome.Speedup)
+	}
+}
+
+func TestRunRejectsBadGroundTruth(t *testing.T) {
+	w := dseWorkload(t, "lud", 20)
+	_, err := Run(w, hwmodel.RTX2080, sampling.NewSTEMRoot(1), gpu.Baseline(),
+		kernelgen.DSELimits(), []float64{1, 2})
+	if err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestSTEMBeatsPKAOnSimulatorHeartwall(t *testing.T) {
+	w := dseWorkload(t, "heartwall", 40)
+	lim := kernelgen.DSELimits()
+	cfg := gpu.Baseline()
+	full, err := FullSim(w, cfg, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stem, err := Run(w, hwmodel.RTX2080, sampling.NewSTEMRoot(1), cfg, lim, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pka, err := Run(w, hwmodel.RTX2080, sampling.NewPKA(1), cfg, lim, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stem.Outcome.ErrorPct >= pka.Outcome.ErrorPct {
+		t.Fatalf("STEM (%v%%) should beat PKA (%v%%) on heartwall",
+			stem.Outcome.ErrorPct, pka.Outcome.ErrorPct)
+	}
+}

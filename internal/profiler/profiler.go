@@ -1,0 +1,132 @@
+// Package profiler models the four profiling toolchains of the paper's
+// Table 5 — Nsight Systems (STEM), Nsight Compute (PKA), NVBit instruction
+// counting (Sieve), and NVBit BBV collection (Photon) — over the hardware
+// timing model.
+//
+// Each profiler both produces the data its sampling method consumes and
+// accounts the wall-clock cost of collecting it, using cost models with the
+// same asymptotics the paper reports: NCU replays every kernel several
+// times under serialization (hundreds-to-thousands-fold overhead on
+// kernel-dense ML workloads), NVBit instrumentation multiplies kernel time
+// by an instruction-level slowdown, BBV collection is cheaper per kernel
+// but Photon's representative comparison adds an O(N·R·d) processing term,
+// and Nsight Systems adds only a small per-launch tracing cost.
+package profiler
+
+import (
+	"time"
+
+	"stemroot/internal/hwmodel"
+	"stemroot/internal/trace"
+)
+
+// Overhead reports the cost of profiling one workload.
+type Overhead struct {
+	Tool string
+	// OriginalUS is the uninstrumented wall time (sum of kernel times).
+	OriginalUS float64
+	// InstrumentedUS is the wall time under instrumentation, including any
+	// CPU-side post-processing.
+	InstrumentedUS float64
+}
+
+// Factor returns instrumented/original — the paper's Table 5 metric.
+func (o Overhead) Factor() float64 {
+	if o.OriginalUS <= 0 {
+		return 0
+	}
+	return o.InstrumentedUS / o.OriginalUS
+}
+
+// Days converts the instrumented time to days, used for the paper's
+// "N/A (Profiling overhead)" feasibility cutoffs (up to 78.68 days for
+// HuggingFace workloads).
+func (o Overhead) Days() float64 {
+	return o.InstrumentedUS / 1e6 / 86400
+}
+
+// Profiler evaluates profiling runs on one device.
+type Profiler struct {
+	Model *hwmodel.Model
+}
+
+// New returns a profiler over the given hardware model.
+func New(m *hwmodel.Model) *Profiler { return &Profiler{Model: m} }
+
+// Cost-model constants (microseconds unless noted). Calibrated so the
+// overhead factors land in the paper's Table 5 ranges across the three
+// suites; the asymptotic form (fixed per-launch vs multiplicative terms) is
+// what matters.
+const (
+	nsysPerLaunchUS = 450.0 // timeline tracing + event flush per launch
+	nsysSlowdown    = 1.25  // timeline collection multiplier
+
+	ncuReplayPasses = 8      // passes to cover 12 metrics
+	ncuSerialize    = 2.0    // serialization slowdown per replayed pass
+	ncuPerLaunchUS  = 250000 // replay setup/drain per kernel (~0.25 s)
+
+	nvbitSlowdownBase = 12.0    // per-instruction instrumentation multiplier
+	nvbitAtomicFactor = 14.0    // extra slowdown for memory-heavy kernels
+	nvbitPerLaunchUS  = 30000.0 // injection + counter drain per kernel
+
+	bbvSlowdown     = 6.0    // BB-granularity counting beats per-instr
+	bbvPerLaunchUS  = 3400.0 // injection overhead per kernel
+	bbvCompareNSPer = 4.0    // ns per BBV dimension per comparison
+)
+
+// NSYS runs the lightweight kernel-level profile STEM consumes: per-kernel
+// execution times from a timeline profiler. It returns the profile and its
+// collection overhead.
+func (p *Profiler) NSYS(w *trace.Workload) (*trace.Profile, Overhead) {
+	prof := p.Model.Profile(w)
+	orig := prof.TotalTime()
+	instrumented := orig*nsysSlowdown + float64(w.Len())*nsysPerLaunchUS
+	return prof, Overhead{Tool: "nsys", OriginalUS: orig, InstrumentedUS: instrumented}
+}
+
+// NCU accounts the Nsight Compute collection PKA needs (12 instruction-level
+// metrics per kernel, gathered by replaying each kernel under serialization).
+// The metric values themselves are already on the invocations.
+func (p *Profiler) NCU(w *trace.Workload) Overhead {
+	prof := p.Model.Profile(w)
+	orig := prof.TotalTime()
+	instrumented := orig*ncuReplayPasses*ncuSerialize + float64(w.Len())*ncuPerLaunchUS
+	return Overhead{Tool: "ncu", OriginalUS: orig, InstrumentedUS: instrumented}
+}
+
+// NVBitInstr accounts Sieve's per-warp instruction counting: every dynamic
+// instruction is instrumented, with atomics contention on memory-heavy
+// kernels.
+func (p *Profiler) NVBitInstr(w *trace.Workload) Overhead {
+	var orig, instrumented float64
+	for i := range w.Invs {
+		t := p.Model.Time(&w.Invs[i])
+		orig += t
+		slow := nvbitSlowdownBase + nvbitAtomicFactor*w.Invs[i].Latent.MemIntensity
+		instrumented += t*slow + nvbitPerLaunchUS
+	}
+	return Overhead{Tool: "nvbit", OriginalUS: orig, InstrumentedUS: instrumented}
+}
+
+// NVBitBBV accounts Photon's BBV collection plus its representative
+// comparison post-processing: every kernel's BBV is compared against the
+// representatives accumulated so far (reps), costing O(N·R·d). reps should
+// be the representative count Photon actually finds; dim the raw BBV
+// dimensionality.
+func (p *Profiler) NVBitBBV(w *trace.Workload, reps, dim int) Overhead {
+	prof := p.Model.Profile(w)
+	orig := prof.TotalTime()
+	collect := orig*bbvSlowdown + float64(w.Len())*bbvPerLaunchUS
+	// Each of the N kernels is compared against ~R/2 representatives on
+	// average before matching or becoming a new representative.
+	comparisons := float64(w.Len()) * float64(reps) / 2
+	process := comparisons * float64(dim) * bbvCompareNSPer / 1000 // ns -> µs
+	return Overhead{Tool: "bbv", OriginalUS: orig, InstrumentedUS: collect + process}
+}
+
+// Measured wraps a CPU-side processing duration as an Overhead add-on, for
+// experiments that time our own implementations (e.g. Photon's comparison
+// loop) and fold the result into Table 5.
+func Measured(tool string, originalUS float64, d time.Duration) Overhead {
+	return Overhead{Tool: tool, OriginalUS: originalUS, InstrumentedUS: originalUS + float64(d.Microseconds())}
+}

@@ -1,0 +1,103 @@
+package sampling
+
+import (
+	"errors"
+	"math"
+
+	"stemroot/internal/trace"
+)
+
+// Outcome reports one sampled-simulation evaluation.
+type Outcome struct {
+	Method   string
+	Workload string
+	// Samples is the number of distinct simulated invocations.
+	Samples int
+	// Speedup is full-workload time over sampled-workload time (paper §5:
+	// "the ratio of the cycle count of the full workload to that of the
+	// sampled workload").
+	Speedup float64
+	// ErrorPct is the sampling error of Eq. (1), in percent.
+	ErrorPct float64
+	// Estimate and Truth are the estimated and ground-truth totals.
+	Estimate, Truth float64
+}
+
+// EvaluateTimes scores a plan against per-invocation ground-truth times
+// (from a profile on any device, or cycle counts from a simulator): the
+// estimate uses only sampled kernels' times; the truth is the full sum.
+func EvaluateTimes(plan *Plan, workload string, times []float64) (Outcome, error) {
+	if plan == nil || len(times) == 0 {
+		return Outcome{}, errors.New("sampling: nothing to evaluate")
+	}
+	var sampledCost float64
+	idxs := plan.SampledIndices()
+	for _, ix := range idxs {
+		if ix < 0 || ix >= len(times) {
+			return Outcome{}, errors.New("sampling: plan index out of range")
+		}
+		sampledCost += times[ix]
+	}
+
+	var truth float64
+	for _, t := range times {
+		truth += t
+	}
+	est := plan.Estimate(func(i int) float64 { return times[i] })
+
+	out := Outcome{
+		Method:   plan.Method,
+		Workload: workload,
+		Samples:  len(idxs),
+		Estimate: est,
+		Truth:    truth,
+	}
+	if sampledCost > 0 {
+		out.Speedup = truth / sampledCost
+	}
+	if truth > 0 {
+		out.ErrorPct = math.Abs(est-truth) / truth * 100
+	}
+	return out, nil
+}
+
+// Evaluate scores a plan against the profile of the same workload — the
+// common case where ground truth comes from machine profiles (paper §5.1:
+// "we used the profiler's cycle counts to calculate speedup and error").
+func Evaluate(plan *Plan, w *trace.Workload, prof *trace.Profile) (Outcome, error) {
+	if err := prof.Validate(w); err != nil {
+		return Outcome{}, err
+	}
+	return EvaluateTimes(plan, w.Name, prof.TimeUS)
+}
+
+// MeanErrorPct averages the errors of a set of outcomes (the paper uses the
+// arithmetic mean for error).
+func MeanErrorPct(outs []Outcome) float64 {
+	if len(outs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, o := range outs {
+		sum += o.ErrorPct
+	}
+	return sum / float64(len(outs))
+}
+
+// HarmonicMeanSpeedup averages speedups harmonically (the paper follows
+// Eeckhout's recommendation for speedups). Outcomes with zero speedup are
+// skipped.
+func HarmonicMeanSpeedup(outs []Outcome) float64 {
+	var inv float64
+	n := 0
+	for _, o := range outs {
+		if o.Speedup > 0 {
+			inv += 1 / o.Speedup
+			n++
+		}
+	}
+	if n == 0 || inv == 0 {
+		return 0
+	}
+	return float64(n) / inv
+}

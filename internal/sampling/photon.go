@@ -1,0 +1,133 @@
+package sampling
+
+import (
+	"errors"
+
+	"stemroot/internal/cluster"
+	"stemroot/internal/trace"
+)
+
+// Photon implements the kernel-level portion of Photon (Liu, Sun, Carlson,
+// MICRO'23) as characterized in the paper's Table 1: each kernel's GPU
+// basic-block vector is compared online against previously selected
+// representatives of the same kernel name; a kernel joins an existing
+// cluster when its BBV similarity exceeds the threshold (95% in the paper)
+// and its warp count matches, otherwise it becomes a new representative
+// that must be simulated.
+//
+// The comparison cost is O(N·R·d) with R representatives — quadratic in N
+// in the worst case, which is exactly the scalability wall §5.6 reports.
+// PCADim optionally reduces the BBV dimensionality first, as Photon does
+// for large BBVs.
+type Photon struct {
+	// Threshold is the similarity above which kernels are deemed identical.
+	Threshold float64
+	// BBVDim is the raw basic-block-vector dimensionality to collect.
+	BBVDim int
+	// PCADim, when positive, projects BBVs to this many principal
+	// components before comparison.
+	PCADim int
+	Seed   uint64
+}
+
+// NewPhoton returns Photon with the paper's 95% threshold.
+func NewPhoton(seed uint64) *Photon {
+	return &Photon{Threshold: 0.95, BBVDim: trace.DefaultBBVDim, Seed: seed}
+}
+
+// Name implements Method.
+func (p *Photon) Name() string { return "photon" }
+
+// Plan implements Method.
+func (p *Photon) Plan(w *trace.Workload, _ *trace.Profile) (*Plan, error) {
+	if w.Len() == 0 {
+		return nil, errors.New("sampling: empty workload")
+	}
+	dim := p.BBVDim
+	if dim <= 0 {
+		dim = trace.DefaultBBVDim
+	}
+
+	// Collect BBVs (the NVBit instrumentation step).
+	bbvs := make([][]float64, w.Len())
+	for i := range w.Invs {
+		bbvs[i] = w.Invs[i].BBV(dim)
+	}
+	compare := trace.BBVSimilarity
+	if p.PCADim > 0 && p.PCADim < dim {
+		pca, err := cluster.FitPCA(bbvs, p.PCADim, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		bbvs = pca.TransformAll(bbvs)
+		// In PCA space the vectors are no longer weight histograms; use a
+		// normalized L1 similarity over the projected coordinates.
+		compare = pcaSimilarity
+	}
+
+	type rep struct {
+		idx   int
+		warps int
+		count int
+	}
+	repsByName := make(map[string][]*rep)
+	order := make([]*rep, 0, 64)
+
+	for i := range w.Invs {
+		inv := &w.Invs[i]
+		reps := repsByName[inv.Name]
+		var home *rep
+		for _, r := range reps {
+			if r.warps != inv.Warps() {
+				continue
+			}
+			if compare(bbvs[r.idx], bbvs[i]) >= p.Threshold {
+				home = r
+				break
+			}
+		}
+		if home == nil {
+			home = &rep{idx: i, warps: inv.Warps()}
+			repsByName[inv.Name] = append(reps, home)
+			order = append(order, home)
+		}
+		home.count++
+	}
+
+	plan := &Plan{Method: p.Name()}
+	for _, r := range order {
+		plan.Groups = append(plan.Groups, Group{
+			Samples: []int{r.idx},
+			Weight:  float64(r.count),
+		})
+	}
+	return plan, nil
+}
+
+// pcaSimilarity maps an L1 distance in PCA space to a (0,1] similarity.
+func pcaSimilarity(a, b []float64) float64 {
+	var l1, scale float64
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		l1 += d
+		aa, bb := a[i], b[i]
+		if aa < 0 {
+			aa = -aa
+		}
+		if bb < 0 {
+			bb = -bb
+		}
+		scale += aa + bb
+	}
+	if scale == 0 {
+		return 1
+	}
+	s := 1 - l1/scale
+	if s < 0 {
+		return 0
+	}
+	return s
+}

@@ -1,0 +1,327 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"stemroot/internal/hwmodel"
+	"stemroot/internal/trace"
+	"stemroot/internal/workloads"
+)
+
+// testWorkload returns a CASIO-style workload and its RTX 2080 profile.
+func testWorkload(t testing.TB, name string) (*trace.Workload, *trace.Profile) {
+	t.Helper()
+	for _, w := range workloads.CASIO(1, 0.03) {
+		if w.Name == name {
+			prof := hwmodel.New(hwmodel.RTX2080, w.Seed).Profile(w)
+			return w, prof
+		}
+	}
+	t.Fatalf("workload %s not found", name)
+	return nil, nil
+}
+
+func rodiniaWorkload(t testing.TB, name string) (*trace.Workload, *trace.Profile) {
+	t.Helper()
+	for _, w := range workloads.Rodinia(1) {
+		if w.Name == name {
+			prof := hwmodel.New(hwmodel.RTX2080, w.Seed).Profile(w)
+			return w, prof
+		}
+	}
+	t.Fatalf("workload %s not found", name)
+	return nil, nil
+}
+
+func TestPlanEstimateAndIndices(t *testing.T) {
+	p := &Plan{
+		Method: "x",
+		Groups: []Group{
+			{Samples: []int{0, 1}, Weight: 2},
+			{Samples: []int{1, 3}, Weight: 1},
+		},
+	}
+	times := []float64{10, 20, 30, 40}
+	est := p.Estimate(func(i int) float64 { return times[i] })
+	if est != 2*(10+20)+1*(20+40) {
+		t.Fatalf("estimate = %v", est)
+	}
+	idxs := p.SampledIndices()
+	if len(idxs) != 3 || idxs[0] != 0 || idxs[1] != 1 || idxs[2] != 3 {
+		t.Fatalf("indices = %v", idxs)
+	}
+	if p.SampleCount() != 3 {
+		t.Fatal("sample count wrong")
+	}
+}
+
+func TestRandomPlan(t *testing.T) {
+	w, prof := testWorkload(t, "bert_infer")
+	r := &Random{Frac: 0.01, Seed: 1}
+	plan, err := r.Plan(w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := plan.SampleCount()
+	want := float64(w.Len()) * 0.01
+	if float64(n) < want/3 || float64(n) > want*3 {
+		t.Fatalf("random sampled %d of %d, expected ~%v", n, w.Len(), want)
+	}
+	out, err := Evaluate(plan, w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Speedup < 10 {
+		t.Fatalf("random speedup = %v, want substantial", out.Speedup)
+	}
+}
+
+func TestRandomValidation(t *testing.T) {
+	w, prof := testWorkload(t, "bert_infer")
+	if _, err := (&Random{Frac: 0}).Plan(w, prof); err == nil {
+		t.Fatal("expected error for frac=0")
+	}
+	if _, err := (&Random{Frac: 1.5}).Plan(w, prof); err == nil {
+		t.Fatal("expected error for frac>1")
+	}
+	empty := &trace.Workload{}
+	if _, err := (&Random{Frac: 0.1}).Plan(empty, nil); err == nil {
+		t.Fatal("expected error for empty workload")
+	}
+}
+
+func TestRandomNeverEmptyPlan(t *testing.T) {
+	// A tiny fraction on a small workload must still produce >= 1 sample.
+	w := &trace.Workload{Name: "tiny", Seed: 9}
+	for i := 0; i < 5; i++ {
+		w.Invs = append(w.Invs, trace.Invocation{Seq: i, Name: "k"})
+	}
+	plan, err := (&Random{Frac: 1e-9, Seed: 1}).Plan(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SampleCount() < 1 {
+		t.Fatal("plan has no samples")
+	}
+}
+
+func TestPKAPlanClusterCount(t *testing.T) {
+	w, prof := testWorkload(t, "bert_infer")
+	pka := NewPKA(1)
+	plan, err := pka.Plan(w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Groups) < 2 || len(plan.Groups) > 20 {
+		t.Fatalf("PKA produced %d clusters", len(plan.Groups))
+	}
+	// One sample per cluster, weights sum to the workload size.
+	var wsum float64
+	for _, g := range plan.Groups {
+		if len(g.Samples) != 1 {
+			t.Fatal("PKA should sample one kernel per cluster")
+		}
+		wsum += g.Weight
+	}
+	if math.Abs(wsum-float64(w.Len())) > 0.5 {
+		t.Fatalf("PKA weights sum to %v, want %d", wsum, w.Len())
+	}
+}
+
+func TestPKAFirstChronological(t *testing.T) {
+	w, prof := rodiniaWorkload(t, "heartwall")
+	plan, err := NewPKA(1).Plan(w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// heartwall's kernels share static metrics, so PKA lumps them together
+	// and its first-chronological pick is the anomalous first call —
+	// yielding the paper's catastrophic underestimate.
+	out, err := Evaluate(plan, w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ErrorPct < 50 {
+		t.Fatalf("untuned PKA on heartwall error = %v%%, expected catastrophic", out.ErrorPct)
+	}
+
+	// Hand-tuned (random pick) improves it dramatically, as in §5.1.
+	tuned := NewPKA(1)
+	tuned.TunedWorkloads = map[string]bool{"heartwall": true}
+	tplan, err := tuned.Plan(w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tout, err := Evaluate(tplan, w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tout.ErrorPct >= out.ErrorPct {
+		t.Fatalf("tuning did not help: %v%% vs %v%%", tout.ErrorPct, out.ErrorPct)
+	}
+}
+
+func TestSievePlan(t *testing.T) {
+	w, prof := rodiniaWorkload(t, "gaussian")
+	plan, err := NewSieve(1).Plan(w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Groups) == 0 {
+		t.Fatal("empty sieve plan")
+	}
+	out, err := Evaluate(plan, w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instruction-count weighting makes Sieve usable on gaussian (whose
+	// instruction counts track the shrinking work), unlike PKA.
+	if out.ErrorPct > 60 {
+		t.Fatalf("sieve gaussian error = %v%%", out.ErrorPct)
+	}
+}
+
+func TestSieveStratifiesIrregularKernels(t *testing.T) {
+	w, prof := rodiniaWorkload(t, "gaussian")
+	plan, _ := NewSieve(1).Plan(w, prof)
+	// gaussian has 2 kernel names but high instruction-count variation:
+	// Sieve must produce more strata than names.
+	if len(plan.Groups) <= 2 {
+		t.Fatalf("sieve produced %d strata for gaussian", len(plan.Groups))
+	}
+}
+
+func TestPhotonPlan(t *testing.T) {
+	w, prof := testWorkload(t, "bert_infer")
+	plan, err := NewPhoton(1).Plan(w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Photon should select far fewer representatives than invocations but
+	// more than one per kernel name (contexts shift BBVs).
+	names := len(w.KernelNames())
+	if len(plan.Groups) <= names {
+		t.Fatalf("photon found %d reps for %d names — contexts not separated", len(plan.Groups), names)
+	}
+	if len(plan.Groups) > w.Len()/10 {
+		t.Fatalf("photon selected too many reps: %d of %d", len(plan.Groups), w.Len())
+	}
+	var wsum float64
+	for _, g := range plan.Groups {
+		wsum += g.Weight
+	}
+	if math.Abs(wsum-float64(w.Len())) > 0.5 {
+		t.Fatalf("photon weights sum to %v, want %d", wsum, w.Len())
+	}
+}
+
+func TestPhotonPCAPath(t *testing.T) {
+	w, prof := testWorkload(t, "bert_infer")
+	p := NewPhoton(1)
+	p.PCADim = 8
+	plan, err := p.Plan(w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Groups) == 0 {
+		t.Fatal("empty photon plan with PCA")
+	}
+}
+
+func TestSTEMPlanMeetsErrorBound(t *testing.T) {
+	for _, name := range []string{"bert_infer", "dlrm", "resnet50_infer"} {
+		w, prof := testWorkload(t, name)
+		stem := NewSTEMRoot(1)
+		plan, err := stem.Plan(w, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Evaluate(plan, w, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ErrorPct > 5 {
+			t.Fatalf("%s: STEM error %v%% exceeds 5%% bound", name, out.ErrorPct)
+		}
+		if out.Speedup < 2 {
+			t.Fatalf("%s: STEM speedup only %v", name, out.Speedup)
+		}
+	}
+}
+
+func TestSTEMBeatsBaselinesOnHeartwall(t *testing.T) {
+	w, prof := rodiniaWorkload(t, "heartwall")
+	stem := NewSTEMRoot(1)
+	splan, err := stem.Plan(w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sout, _ := Evaluate(splan, w, prof)
+	if sout.ErrorPct > 5 {
+		t.Fatalf("STEM heartwall error = %v%%", sout.ErrorPct)
+	}
+}
+
+func TestSTEMRequiresProfile(t *testing.T) {
+	w, _ := testWorkload(t, "bert_infer")
+	if _, err := NewSTEMRoot(1).Plan(w, nil); err == nil {
+		t.Fatal("expected error without profile")
+	}
+	bad := &trace.Profile{TimeUS: []float64{1}}
+	if _, err := NewSTEMRoot(1).Plan(w, bad); err == nil {
+		t.Fatal("expected error for mismatched profile")
+	}
+}
+
+func TestSTEMFlatAblation(t *testing.T) {
+	// ROOT's fine-grained clustering must reduce simulated time (higher
+	// speedup) versus flat per-name STEM at comparable error.
+	w, prof := testWorkload(t, "resnet50_infer")
+	full := NewSTEMRoot(1)
+	flat := NewSTEMRoot(1)
+	flat.Flat = true
+
+	fp, err := full.Plan(w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := flat.Plan(w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, _ := Evaluate(fp, w, prof)
+	lo, _ := Evaluate(lp, w, prof)
+	if fo.ErrorPct > 5 || lo.ErrorPct > 5 {
+		t.Fatalf("errors exceed bound: root=%v flat=%v", fo.ErrorPct, lo.ErrorPct)
+	}
+	if fo.Speedup <= lo.Speedup {
+		t.Fatalf("ROOT speedup %v should beat flat %v", fo.Speedup, lo.Speedup)
+	}
+}
+
+func TestEvaluateTimesErrors(t *testing.T) {
+	if _, err := EvaluateTimes(nil, "x", []float64{1}); err == nil {
+		t.Fatal("expected error for nil plan")
+	}
+	p := &Plan{Groups: []Group{{Samples: []int{5}, Weight: 1}}}
+	if _, err := EvaluateTimes(p, "x", []float64{1}); err == nil {
+		t.Fatal("expected error for out-of-range index")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	outs := []Outcome{
+		{Speedup: 2, ErrorPct: 1},
+		{Speedup: 6, ErrorPct: 3},
+	}
+	if m := MeanErrorPct(outs); m != 2 {
+		t.Fatalf("mean error = %v", m)
+	}
+	if h := HarmonicMeanSpeedup(outs); math.Abs(h-3) > 1e-12 {
+		t.Fatalf("harmonic speedup = %v, want 3", h)
+	}
+	if MeanErrorPct(nil) != 0 || HarmonicMeanSpeedup(nil) != 0 {
+		t.Fatal("empty aggregates should be zero")
+	}
+}

@@ -1,0 +1,206 @@
+package sampling
+
+import (
+	"errors"
+
+	"stemroot/internal/rng"
+	"stemroot/internal/stats"
+	"stemroot/internal/trace"
+)
+
+// Sieve implements stratified GPU-compute workload sampling
+// (Naderan-Tahan et al., ISPASS'23) as characterized in the paper's
+// Table 1: kernels are grouped by name, stratified by the coefficient of
+// variation of their per-warp dynamic instruction counts, and a single
+// first-chronological kernel (with the dominant CTA configuration) is
+// sampled per stratum. Weights follow Sieve's instruction-count weighting:
+// a sample standing for a stratum is scaled by the ratio of the stratum's
+// total instruction count to the sample's.
+type Sieve struct {
+	Seed uint64
+	// LowCoV and HighCoV are the stratification thresholds on
+	// instruction-count CoV (low: one stable stratum; between: a few
+	// strata; above: per-quantile strata).
+	LowCoV, HighCoV float64
+	// UseKDE enables Sieve's optional KDE-based subclustering of the
+	// instruction-count distribution. The paper disabled it on CASIO
+	// because it oversampled; it is kept as an option for that ablation.
+	UseKDE bool
+	// TunedWorkloads selects random (rather than first-chronological)
+	// representatives, the paper's per-workload hand-tuning.
+	TunedWorkloads map[string]bool
+}
+
+// NewSieve returns Sieve with its published thresholds.
+func NewSieve(seed uint64) *Sieve {
+	return &Sieve{Seed: seed, LowCoV: 0.02, HighCoV: 0.25}
+}
+
+// Name implements Method.
+func (s *Sieve) Name() string { return "sieve" }
+
+// Plan implements Method.
+func (s *Sieve) Plan(w *trace.Workload, _ *trace.Profile) (*Plan, error) {
+	if w.Len() == 0 {
+		return nil, errors.New("sampling: empty workload")
+	}
+	random := s.TunedWorkloads[w.Name]
+	gen := rng.New(rng.Derive(s.Seed, w.Seed, rng.HashString("sieve")))
+
+	plan := &Plan{Method: s.Name()}
+	for _, idxs := range w.GroupByName() {
+		counts := make([]float64, len(idxs))
+		for j, ix := range idxs {
+			counts[j] = float64(w.Invs[ix].InstrsPerWarp)
+		}
+		cov := stats.CoV(counts)
+
+		var strata [][]int
+		switch {
+		case cov <= s.LowCoV:
+			strata = [][]int{idxs}
+		case cov <= s.HighCoV:
+			if s.UseKDE {
+				strata = stratifyByKDE(idxs, counts)
+			} else {
+				strata = stratifyByQuantiles(idxs, counts, 3)
+			}
+		default:
+			// Highly irregular kernels (bfs frontiers, gaussian's decay):
+			// one stratum per distinct instruction count, as the original
+			// Sieve does — accurate, but the source of its low speedup on
+			// irregular GPGPU workloads.
+			strata = stratifyByDistinct(idxs, counts)
+		}
+
+		for _, stratum := range strata {
+			if len(stratum) == 0 {
+				continue
+			}
+			rep := pickDominantCTA(w, stratum, random, gen)
+			// Instruction-count weighting: total stratum instructions over
+			// the representative's.
+			var total float64
+			for _, ix := range stratum {
+				total += float64(w.Invs[ix].InstrsPerWarp)
+			}
+			repInstrs := float64(w.Invs[rep].InstrsPerWarp)
+			weight := float64(len(stratum))
+			if repInstrs > 0 {
+				weight = total / repInstrs
+			}
+			plan.Groups = append(plan.Groups, Group{Samples: []int{rep}, Weight: weight})
+		}
+	}
+	return plan, nil
+}
+
+// stratifyByQuantiles splits a kernel group into k strata by instruction
+// count.
+func stratifyByQuantiles(idxs []int, counts []float64, k int) [][]int {
+	lo, _ := stats.Min(counts)
+	hi, _ := stats.Max(counts)
+	if hi == lo || k < 2 {
+		return [][]int{idxs}
+	}
+	strata := make([][]int, k)
+	for j, ix := range idxs {
+		b := int(float64(k) * (counts[j] - lo) / (hi - lo))
+		if b >= k {
+			b = k - 1
+		}
+		strata[b] = append(strata[b], ix)
+	}
+	return strata
+}
+
+// stratifyByDistinct groups invocations whose instruction counts agree to
+// two significant digits, capping the stratum count by coarsening the
+// rounding until at most 64 strata remain.
+func stratifyByDistinct(idxs []int, counts []float64) [][]int {
+	for digits := 2; digits >= 0; digits-- {
+		buckets := make(map[float64][]int)
+		var order []float64
+		for j, ix := range idxs {
+			key := roundSig(counts[j], digits)
+			if _, ok := buckets[key]; !ok {
+				order = append(order, key)
+			}
+			buckets[key] = append(buckets[key], ix)
+		}
+		if len(order) <= 64 || digits == 0 {
+			out := make([][]int, 0, len(order))
+			for _, k := range order {
+				out = append(out, buckets[k])
+			}
+			return out
+		}
+	}
+	return [][]int{idxs}
+}
+
+// roundSig rounds x to the given number of significant digits past the
+// leading one.
+func roundSig(x float64, digits int) float64 {
+	if x == 0 {
+		return 0
+	}
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	scale := 1.0
+	for x >= 10 {
+		x /= 10
+		scale *= 10
+	}
+	for x < 1 {
+		x *= 10
+		scale /= 10
+	}
+	mult := 1.0
+	for i := 0; i < digits; i++ {
+		mult *= 10
+	}
+	x = float64(int64(x*mult+0.5)) / mult
+	if neg {
+		return -x * scale
+	}
+	return x * scale
+}
+
+// stratifyByKDE splits a group at the valleys of the instruction-count
+// density, producing one stratum per mode.
+func stratifyByKDE(idxs []int, counts []float64) [][]int {
+	modes := stats.CountModes(counts, 128, 0.05)
+	if modes < 2 {
+		return [][]int{idxs}
+	}
+	return stratifyByQuantiles(idxs, counts, modes)
+}
+
+// pickDominantCTA returns the first-chronological member whose CTA (block)
+// configuration is the most common in the stratum, or a random member for
+// tuned workloads.
+func pickDominantCTA(w *trace.Workload, stratum []int, random bool, gen *rng.Rand) int {
+	if random {
+		return stratum[gen.Intn(len(stratum))]
+	}
+	counts := make(map[trace.Dim3]int)
+	for _, ix := range stratum {
+		counts[w.Invs[ix].Block]++
+	}
+	var dominant trace.Dim3
+	best := -1
+	for cfg, c := range counts {
+		if c > best {
+			dominant, best = cfg, c
+		}
+	}
+	for _, ix := range stratum {
+		if w.Invs[ix].Block == dominant {
+			return ix
+		}
+	}
+	return stratum[0]
+}

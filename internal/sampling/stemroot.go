@@ -1,0 +1,77 @@
+package sampling
+
+import (
+	"errors"
+
+	"stemroot/internal/core"
+	"stemroot/internal/trace"
+)
+
+// STEMRoot adapts the paper's full methodology (internal/core) to the
+// Method interface: ROOT's hierarchical clustering of the execution-time
+// profile followed by STEM's jointly optimized sample sizes.
+type STEMRoot struct {
+	Params core.Params
+	// Flat disables ROOT (one cluster per kernel name, STEM sizing only) —
+	// the ablation isolating ROOT's contribution.
+	Flat bool
+}
+
+// NewSTEMRoot returns the method with the paper's default parameters
+// (ε = 0.05, 95% confidence, k = 2) and the given seed.
+func NewSTEMRoot(seed uint64) *STEMRoot {
+	p := core.DefaultParams()
+	p.Seed = seed
+	return &STEMRoot{Params: p}
+}
+
+// Name implements Method.
+func (s *STEMRoot) Name() string {
+	if s.Flat {
+		return "stem_flat"
+	}
+	return "stem"
+}
+
+// Plan implements Method. This is the only method that reads the
+// execution-time profile — its kernel signature per Table 1.
+func (s *STEMRoot) Plan(w *trace.Workload, prof *trace.Profile) (*Plan, error) {
+	if prof == nil {
+		return nil, errors.New("sampling: STEM requires an execution-time profile")
+	}
+	if err := prof.Validate(w); err != nil {
+		return nil, err
+	}
+	names := make([]string, w.Len())
+	for i := range w.Invs {
+		names[i] = w.Invs[i].Name
+	}
+	p := s.Params
+	p.Seed = s.Params.Seed ^ w.Seed
+
+	var (
+		cp  *core.Plan
+		err error
+	)
+	if s.Flat {
+		cp, err = core.BuildPlanFlat(names, prof.TimeUS, p)
+	} else {
+		cp, err = core.BuildPlan(names, prof.TimeUS, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	plan := &Plan{Method: s.Name()}
+	for i := range cp.Clusters {
+		c := &cp.Clusters[i]
+		if c.SampleSize == 0 {
+			continue
+		}
+		plan.Groups = append(plan.Groups, Group{
+			Samples: c.Samples,
+			Weight:  c.Weight,
+		})
+	}
+	return plan, nil
+}

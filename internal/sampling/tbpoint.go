@@ -1,0 +1,139 @@
+package sampling
+
+import (
+	"errors"
+	"math"
+
+	"stemroot/internal/cluster"
+	"stemroot/internal/rng"
+	"stemroot/internal/trace"
+)
+
+// TBPoint implements the TBPoint baseline (Huang et al., IPDPS'14) as
+// characterized in the paper's related work: hierarchical (agglomerative)
+// clustering over microarchitecture-independent kernel metrics, sampling
+// the kernel closest to each cluster's center.
+//
+// TBPoint predates PKA; it shares PKA's fundamental limitation — intensive
+// metrics cannot see how much data the same code processes — and is
+// provided as an additional comparison point beyond the paper's Table 1.
+type TBPoint struct {
+	Seed uint64
+	// MaxClusters caps the dendrogram cut (default 20).
+	MaxClusters int
+	// SubsampleCap bounds the points fed to the O(n^2 log n) clustering;
+	// the rest are assigned to the nearest centroid (default 512).
+	SubsampleCap int
+}
+
+// NewTBPoint returns TBPoint with its defaults.
+func NewTBPoint(seed uint64) *TBPoint {
+	return &TBPoint{Seed: seed, MaxClusters: 20, SubsampleCap: 512}
+}
+
+// Name implements Method.
+func (t *TBPoint) Name() string { return "tbpoint" }
+
+// Plan implements Method.
+func (t *TBPoint) Plan(w *trace.Workload, _ *trace.Profile) (*Plan, error) {
+	n := w.Len()
+	if n == 0 {
+		return nil, errors.New("sampling: empty workload")
+	}
+	feats := make([][]float64, n)
+	for i := range w.Invs {
+		feats[i] = intensiveFeatures(&w.Invs[i])
+	}
+	normalizeColumns(feats)
+
+	capN := t.SubsampleCap
+	if capN <= 0 {
+		capN = 512
+	}
+	maxK := t.MaxClusters
+	if maxK <= 0 {
+		maxK = 20
+	}
+
+	sub := feats
+	subIdx := make([]int, n)
+	for i := range subIdx {
+		subIdx[i] = i
+	}
+	if n > capN {
+		perm := rng.New(rng.Derive(t.Seed, w.Seed, rng.HashString("tbpoint"))).Perm(n)
+		sub = make([][]float64, capN)
+		subIdx = subIdx[:capN]
+		for i := 0; i < capN; i++ {
+			sub[i] = feats[perm[i]]
+			subIdx[i] = perm[i]
+		}
+	}
+
+	k := chooseDendrogramCut(sub, maxK, t.Seed)
+	res, err := cluster.Agglomerative(sub, k, 0)
+	if err != nil {
+		return nil, err
+	}
+	assignment := cluster.AssignToNearest(feats, res.Centroids)
+
+	// One representative per cluster: the member closest to the centroid.
+	type repInfo struct {
+		idx   int
+		dist  float64
+		count int
+	}
+	reps := make([]repInfo, res.K)
+	for i := range reps {
+		reps[i] = repInfo{idx: -1, dist: math.Inf(1)}
+	}
+	for i, a := range assignment {
+		reps[a].count++
+		d := dist2(feats[i], res.Centroids[a])
+		if d < reps[a].dist {
+			reps[a].idx = i
+			reps[a].dist = d
+		}
+	}
+
+	plan := &Plan{Method: t.Name()}
+	for _, r := range reps {
+		if r.idx < 0 || r.count == 0 {
+			continue
+		}
+		plan.Groups = append(plan.Groups, Group{
+			Samples: []int{r.idx},
+			Weight:  float64(r.count),
+		})
+	}
+	return plan, nil
+}
+
+// chooseDendrogramCut picks k by the largest silhouette over a small sweep,
+// mirroring TBPoint's "find the natural grouping" step.
+func chooseDendrogramCut(points [][]float64, maxK int, seed uint64) int {
+	bestK, bestScore := 1, 0.5 // weak-structure baseline, as in SweepK
+	limit := maxK
+	if limit > len(points) {
+		limit = len(points)
+	}
+	for k := 2; k <= limit; k++ {
+		res, err := cluster.Agglomerative(points, k, 0)
+		if err != nil {
+			break
+		}
+		if s := cluster.Silhouette(points, res.Assignment, res.K); s > bestScore {
+			bestK, bestScore = k, s
+		}
+	}
+	return bestK
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,84 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"stemroot/internal/trace"
+)
+
+var traceWorkloadEmpty = trace.Workload{Name: "empty"}
+
+func TestTBPointPlanStructure(t *testing.T) {
+	w, prof := testWorkload(t, "bert_infer")
+	tb := NewTBPoint(1)
+	plan, err := tb.Plan(w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Groups) < 2 || len(plan.Groups) > 20 {
+		t.Fatalf("tbpoint produced %d clusters", len(plan.Groups))
+	}
+	var wsum float64
+	for _, g := range plan.Groups {
+		if len(g.Samples) != 1 {
+			t.Fatal("tbpoint samples one kernel per cluster")
+		}
+		wsum += g.Weight
+	}
+	if math.Abs(wsum-float64(w.Len())) > 0.5 {
+		t.Fatalf("weights sum to %v for %d invocations", wsum, w.Len())
+	}
+}
+
+func TestTBPointSharesPKAsBlindness(t *testing.T) {
+	// Like PKA, TBPoint's intensive metrics cannot see heartwall's
+	// work-volume anomaly; STEM can.
+	w, prof := rodiniaWorkload(t, "heartwall")
+	tb, err := NewTBPoint(1).Plan(w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbOut, err := Evaluate(tb, w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stem, err := NewSTEMRoot(1).Plan(w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stemOut, err := Evaluate(stem, w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbOut.ErrorPct < 10 {
+		t.Fatalf("tbpoint heartwall error = %v%%, expected large", tbOut.ErrorPct)
+	}
+	if stemOut.ErrorPct >= tbOut.ErrorPct {
+		t.Fatalf("STEM (%v%%) should beat TBPoint (%v%%)", stemOut.ErrorPct, tbOut.ErrorPct)
+	}
+}
+
+func TestTBPointSubsampling(t *testing.T) {
+	w, prof := testWorkload(t, "resnet50_infer")
+	tb := NewTBPoint(2)
+	tb.SubsampleCap = 128 // force the subsample + extend path
+	plan, err := tb.Plan(w, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every invocation must still be represented.
+	var wsum float64
+	for _, g := range plan.Groups {
+		wsum += g.Weight
+	}
+	if math.Abs(wsum-float64(w.Len())) > 0.5 {
+		t.Fatalf("weights sum to %v for %d invocations", wsum, w.Len())
+	}
+}
+
+func TestTBPointEmptyWorkload(t *testing.T) {
+	if _, err := NewTBPoint(1).Plan(&traceWorkloadEmpty, nil); err == nil {
+		t.Fatal("expected error for empty workload")
+	}
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalPDF(t *testing.T) {
+	// Standard normal density at 0 is 1/sqrt(2*pi).
+	want := 1 / math.Sqrt(2*math.Pi)
+	if got := NormalPDF(0, 0, 1); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("pdf(0) = %v, want %v", got, want)
+	}
+	// Symmetry.
+	if NormalPDF(1.3, 0, 1) != NormalPDF(-1.3, 0, 1) {
+		t.Fatal("pdf not symmetric")
+	}
+	// Degenerate sigma.
+	if NormalPDF(1, 0, 0) != 0 {
+		t.Fatal("pdf with sigma=0 off the mean should be 0")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if got := NormalCDF(0, 0, 1); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("cdf(0) = %v, want 0.5", got)
+	}
+	if got := NormalCDF(1.959963985, 0, 1); !almostEqual(got, 0.975, 1e-6) {
+		t.Fatalf("cdf(1.96) = %v, want 0.975", got)
+	}
+	if NormalCDF(-1, 0, 0) != 0 || NormalCDF(1, 0, 0) != 1 {
+		t.Fatal("degenerate cdf wrong")
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.95, 1.6448536269514722},
+		{0.995, 2.5758293035489004},
+		{0.841344746068543, 1.0},
+		{0.025, -1.959963984540054},
+	}
+	for _, c := range cases {
+		got, err := NormalQuantile(c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want, 1e-9) {
+			t.Fatalf("quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileErrors(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		if _, err := NormalQuantile(p); err == nil {
+			t.Fatalf("expected error for p=%v", p)
+		}
+	}
+}
+
+func TestQuantileCDFRoundTrip(t *testing.T) {
+	check := func(seed uint64) bool {
+		p := 0.001 + 0.998*float64(seed%100000)/100000
+		x, err := NormalQuantile(p)
+		if err != nil {
+			return false
+		}
+		return almostEqual(NormalCDF(x, 0, 1), p, 1e-10)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZScore95(t *testing.T) {
+	z, err := ZScore(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper rounds this to 1.96.
+	if !almostEqual(z, 1.959963984540054, 1e-9) {
+		t.Fatalf("z(95%%) = %v", z)
+	}
+}
+
+func TestZScoreMonotone(t *testing.T) {
+	prev := 0.0
+	for _, conf := range []float64{0.5, 0.8, 0.9, 0.95, 0.99, 0.999} {
+		z := MustZScore(conf)
+		if z <= prev {
+			t.Fatalf("z-score not increasing at confidence %v", conf)
+		}
+		prev = z
+	}
+}
+
+func TestMustZScorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustZScore(1.5)
+}

@@ -1,0 +1,299 @@
+// Package stats implements the statistical substrate used throughout the
+// STEM+ROOT reproduction: descriptive statistics, streaming moments,
+// quantiles, histograms, kernel density estimation, peak detection, and the
+// normal distribution (including the inverse CDF used to derive z-scores for
+// arbitrary confidence levels).
+//
+// STEM's error model (paper §3.2) is built entirely on the mean, standard
+// deviation, and coefficient of variation of kernel execution times, so this
+// package is the foundation of the whole methodology.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one observation.
+var ErrEmpty = errors.New("stats: empty data")
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	// Kahan summation: workloads mix nanosecond kernels with second-long
+	// ones, so naive accumulation loses precision over millions of terms.
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of xs. It returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (divisor n-1) of xs.
+// It returns 0 when fewer than two observations are given.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mean := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// PopVariance returns the population variance (divisor n) of xs.
+func PopVariance(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	mean := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return ss / float64(n)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CoV returns the coefficient of variation sigma/mu. The paper (§3.2) uses
+// CoV as the hardware-portable proxy for a kernel's runtime variability.
+// It returns 0 when the mean is zero.
+func CoV(xs []float64) float64 {
+	mu := Mean(xs)
+	if mu == 0 {
+		return 0
+	}
+	return StdDev(xs) / mu
+}
+
+// Min returns the smallest element of xs, or an error for empty input.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs, or an error for empty input.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// HarmonicMean returns the harmonic mean of xs. The paper follows Eeckhout's
+// recommendation to report speedups with the harmonic mean. All values must
+// be positive.
+func HarmonicMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var inv float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: harmonic mean requires positive values")
+		}
+		inv += 1 / x
+	}
+	return float64(len(xs)) / inv, nil
+}
+
+// GeometricMean returns the geometric mean of xs (all values positive).
+func GeometricMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geometric mean requires positive values")
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// WeightedMean returns sum(w_i x_i)/sum(w_i). Weights must sum to a
+// positive value.
+func WeightedMean(xs, ws []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(xs) != len(ws) {
+		return 0, errors.New("stats: mismatched lengths")
+	}
+	var num, den float64
+	for i, x := range xs {
+		num += ws[i] * x
+		den += ws[i]
+	}
+	if den <= 0 {
+		return 0, errors.New("stats: non-positive total weight")
+	}
+	return num / den, nil
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the numpy default).
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5 quantile of xs.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// Summary bundles the descriptive statistics STEM consumes for a cluster of
+// kernel execution times.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	CoV    float64
+	Min    float64
+	Max    float64
+	Sum    float64
+}
+
+// Summarize computes a Summary in a single pass over xs.
+func Summarize(xs []float64) Summary {
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	return o.Summary()
+}
+
+// Online accumulates streaming moments with Welford's algorithm, allowing
+// million-invocation workloads to be summarized without materializing their
+// execution-time vectors. The zero value is ready to use.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add incorporates one observation.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	o.sum += x
+	delta := x - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (x - o.mean)
+}
+
+// Merge combines another accumulator into o (Chan et al. parallel variance).
+func (o *Online) Merge(p Online) {
+	if p.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = p
+		return
+	}
+	delta := p.mean - o.mean
+	total := o.n + p.n
+	o.mean += delta * float64(p.n) / float64(total)
+	o.m2 += p.m2 + delta*delta*float64(o.n)*float64(p.n)/float64(total)
+	if p.min < o.min {
+		o.min = p.min
+	}
+	if p.max > o.max {
+		o.max = p.max
+	}
+	o.sum += p.sum
+	o.n = total
+}
+
+// N returns the number of observations added.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance returns the unbiased sample variance.
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Summary converts the accumulated moments to a Summary.
+func (o *Online) Summary() Summary {
+	s := Summary{N: o.n, Mean: o.mean, StdDev: o.StdDev(), Min: o.min, Max: o.max, Sum: o.sum}
+	if s.Mean != 0 {
+		s.CoV = s.StdDev / s.Mean
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStudentTQuantileKnownValues(t *testing.T) {
+	// Classic t-table values (two-sided 95% => p = 0.975).
+	cases := []struct {
+		nu   float64
+		p    float64
+		want float64
+	}{
+		{1, 0.975, 12.7062},
+		{2, 0.975, 4.30265},
+		{5, 0.975, 2.57058},
+		{10, 0.975, 2.22814},
+		{29, 0.975, 2.04523},
+		{100, 0.975, 1.98397},
+		{5, 0.95, 2.01505},
+		{10, 0.995, 3.16927},
+	}
+	for _, c := range cases {
+		got, err := StudentTQuantile(c.p, c.nu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-3 {
+			t.Fatalf("t(%v, nu=%v) = %v, want %v", c.p, c.nu, got, c.want)
+		}
+	}
+}
+
+func TestStudentTApproachesNormal(t *testing.T) {
+	z := MustZScore(0.95)
+	tv, err := TScore(0.95, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tv-z) > 0.005 {
+		t.Fatalf("t with 999 dof = %v, normal z = %v", tv, z)
+	}
+}
+
+func TestStudentTExceedsNormal(t *testing.T) {
+	// Small-sample t quantiles are strictly larger than z.
+	z := MustZScore(0.95)
+	for _, m := range []int{2, 5, 10, 30} {
+		tv, err := TScore(0.95, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tv <= z {
+			t.Fatalf("t score for m=%d (%v) should exceed z (%v)", m, tv, z)
+		}
+	}
+}
+
+func TestStudentTCDFSymmetry(t *testing.T) {
+	check := func(seed uint64) bool {
+		x := float64(seed%1000)/100 - 5
+		nu := 1 + float64(seed%30)
+		lo := StudentTCDF(x, nu)
+		hi := StudentTCDF(-x, nu)
+		return math.Abs(lo+hi-1) < 1e-9 && lo >= 0 && lo <= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudentTCDFMonotone(t *testing.T) {
+	prev := -1.0
+	for x := -8.0; x <= 8; x += 0.25 {
+		v := StudentTCDF(x, 7)
+		if v < prev {
+			t.Fatalf("CDF not monotone at %v", x)
+		}
+		prev = v
+	}
+	if StudentTCDF(math.Inf(1), 3) != 1 || StudentTCDF(math.Inf(-1), 3) != 0 {
+		t.Fatal("CDF limits wrong")
+	}
+}
+
+func TestStudentTQuantileRoundTrip(t *testing.T) {
+	for _, nu := range []float64{1, 3, 8, 25} {
+		for _, p := range []float64{0.01, 0.2, 0.5, 0.8, 0.99} {
+			x, err := StudentTQuantile(p, nu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := StudentTCDF(x, nu); math.Abs(got-p) > 1e-8 {
+				t.Fatalf("roundtrip nu=%v p=%v: cdf(q)=%v", nu, p, got)
+			}
+		}
+	}
+}
+
+func TestStudentTErrors(t *testing.T) {
+	if _, err := StudentTQuantile(0, 5); err == nil {
+		t.Fatal("expected error for p=0")
+	}
+	if _, err := StudentTQuantile(0.5, 0); err == nil {
+		t.Fatal("expected error for nu=0")
+	}
+	if _, err := TScore(0.95, 1); err == nil {
+		t.Fatal("expected error for m=1")
+	}
+	if _, err := TScore(1.0, 10); err == nil {
+		t.Fatal("expected error for confidence=1")
+	}
+}

@@ -1,0 +1,125 @@
+package trace
+
+import "stemroot/internal/rng"
+
+// DefaultBBVDim is the basic-block-vector dimensionality used when callers
+// do not override it. The paper reports 800+ raw dimensions for GPT-2 before
+// PCA; the synthetic generator uses a smaller default that preserves the
+// relevant structure (static block weights plus context-dependent trip
+// counts) at far lower memory cost.
+const DefaultBBVDim = 64
+
+// BBV materializes the invocation's basic-block vector, normalized to sum
+// to 1. Vectors are generated deterministically from BBVSeed, so repeated
+// calls are stable and nothing large is stored per invocation.
+//
+// The vector models what an NVBit-style instrumentation pass would observe:
+//
+//   - A static per-kernel block-weight profile (power-law distributed, as
+//     real control-flow graphs are) derived from the kernel identity.
+//   - A context-dependent component: a kernel invoked in a different usage
+//     context executes some loops with different trip counts, shifting a
+//     subset of block weights. This is what lets Photon partially — but not
+//     fully — distinguish usage contexts (paper Figure 10).
+//   - Small per-invocation measurement noise.
+func (inv *Invocation) BBV(dim int) []float64 {
+	if dim <= 0 {
+		dim = DefaultBBVDim
+	}
+	r := rng.New(inv.BBVSeed)
+	v := make([]float64, dim)
+	// Static profile: block i has weight ~ 1/(i+1)^1.2, shuffled by the
+	// kernel's identity so different kernels emphasize different blocks.
+	base := rng.New(rng.Derive(rng.HashString(inv.Name), 0xb17))
+	perm := base.Perm(dim)
+	for i := 0; i < dim; i++ {
+		w := 1.0
+		for j := 0; j < i%7+1; j++ {
+			w *= 0.72
+		}
+		v[perm[i]] = w * (0.8 + 0.4*base.Float64())
+	}
+	// Context component: the context scales ~1/4 of the blocks.
+	ctx := rng.New(rng.Derive(rng.HashString(inv.Name), 0xc0, uint64(inv.Latent.Context)))
+	for i := 0; i < dim/4; i++ {
+		idx := ctx.Intn(dim)
+		v[idx] *= 0.6 + 0.9*ctx.Float64()
+	}
+	// Dynamic-work component: BBVs count block *executions*, so loop-body
+	// blocks grow with the dynamic instruction count while
+	// prologue/epilogue blocks stay fixed. A kernel invoked with far less
+	// work (heartwall's setup frame, gaussian's late iterations) therefore
+	// has a visibly different normalized BBV — which is exactly what lets
+	// Photon handle irregular GPGPU kernels that defeat PKA and Sieve.
+	loopShare := float64(inv.InstrsPerWarp) / (float64(inv.InstrsPerWarp) + 400)
+	loopSel := rng.New(rng.Derive(rng.HashString(inv.Name), 0x100b))
+	for i := range v {
+		if loopSel.Float64() < 0.5 {
+			v[i] *= 2 * loopShare
+		} else {
+			v[i] *= 2 * (1 - loopShare)
+		}
+	}
+	// Per-invocation noise.
+	for i := range v {
+		v[i] *= 1 + 0.02*(r.Float64()-0.5)
+		if v[i] < 0 {
+			v[i] = 0
+		}
+	}
+	// Scale the shape to absolute block-execution counts: BBVs are
+	// execution histograms, so their magnitude tracks the dynamic
+	// instruction count. Photon's similarity is magnitude-sensitive —
+	// a kernel doing 2x the work is not "identical" even if its control
+	// flow shape matches.
+	total := 0.0
+	for _, x := range v {
+		total += x
+	}
+	if total > 0 {
+		scale := float64(inv.InstrsPerWarp)
+		if scale <= 0 {
+			scale = 1
+		}
+		for i := range v {
+			v[i] = v[i] / total * scale
+		}
+	}
+	return v
+}
+
+// BBVSimilarity returns the Bray-Curtis similarity 1 - Σ|a-b| / Σ(a+b) in
+// [0, 1]. For two vectors of equal mass this is the histogram-intersection
+// similarity; for vectors of different total execution counts the magnitude
+// difference itself reduces similarity. Photon treats two kernels as
+// behaviourally identical when this exceeds its threshold (0.95 in the
+// paper).
+func BBVSimilarity(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	var l1, mass float64
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		l1 += d
+		aa, bb := a[i], b[i]
+		if aa < 0 {
+			aa = -aa
+		}
+		if bb < 0 {
+			bb = -bb
+		}
+		mass += aa + bb
+	}
+	if mass == 0 {
+		return 1
+	}
+	s := 1 - l1/mass
+	if s < 0 {
+		s = 0
+	}
+	return s
+}

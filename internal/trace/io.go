@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON serializes a workload (including latent ground truth, so that a
+// written trace reproduces experiments exactly).
+func (w *Workload) WriteJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	return enc.Encode(w)
+}
+
+// ReadWorkloadJSON deserializes a workload written by WriteJSON.
+func ReadWorkloadJSON(in io.Reader) (*Workload, error) {
+	var w Workload
+	dec := json.NewDecoder(in)
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("trace: decode workload: %w", err)
+	}
+	return &w, nil
+}
+
+// WriteCSV writes a profile as "seq,name,time_us" rows, the same shape an
+// Nsight Systems kernel-summary export has.
+func (p *Profile) WriteCSV(w *Workload, out io.Writer) error {
+	if err := p.Validate(w); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(out)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"seq", "name", "time_us"}); err != nil {
+		return err
+	}
+	row := make([]string, 3)
+	for i := range w.Invs {
+		row[0] = strconv.Itoa(w.Invs[i].Seq)
+		row[1] = w.Invs[i].Name
+		row[2] = strconv.FormatFloat(p.TimeUS[i], 'g', -1, 64)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadProfileCSV parses a CSV written by WriteCSV. Kernel names are returned
+// alongside times so a profile can be used without its workload.
+func ReadProfileCSV(in io.Reader) (names []string, times []float64, err error) {
+	cr := csv.NewReader(in)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: read csv header: %w", err)
+	}
+	if header[0] != "seq" || header[1] != "name" || header[2] != "time_us" {
+		return nil, nil, fmt.Errorf("trace: unexpected csv header %v", header)
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: read csv row: %w", err)
+		}
+		t, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: parse time %q: %w", rec[2], err)
+		}
+		names = append(names, rec[1])
+		times = append(times, t)
+	}
+	return names, times, nil
+}

@@ -1,0 +1,84 @@
+package stemroot
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// planJSON is the stable on-disk schema of a sampling plan — the "sampling
+// information" artifact the paper's Figure 5 pipeline embeds into the
+// workload trace handed to the simulator.
+type planJSON struct {
+	Version        int           `json:"version"`
+	Epsilon        float64       `json:"epsilon"`
+	Confidence     float64       `json:"confidence"`
+	PredictedError float64       `json:"predicted_error"`
+	Clusters       []clusterJSON `json:"clusters"`
+}
+
+type clusterJSON struct {
+	Kernel  string  `json:"kernel"`
+	Members []int   `json:"members"`
+	Samples []int   `json:"samples"`
+	Weight  float64 `json:"weight"`
+	Mean    float64 `json:"mean_us"`
+	StdDev  float64 `json:"stddev_us"`
+}
+
+const planSchemaVersion = 1
+
+// WriteJSON serializes the plan so a simulator-side consumer (possibly in
+// another process or language) can replay exactly the sampled kernels and
+// reproduce the weighted-sum estimate.
+func (p *Plan) WriteJSON(w io.Writer) error {
+	out := planJSON{
+		Version:        planSchemaVersion,
+		Epsilon:        p.Epsilon,
+		Confidence:     p.Confidence,
+		PredictedError: p.PredictedError,
+	}
+	for _, c := range p.Clusters {
+		out.Clusters = append(out.Clusters, clusterJSON{
+			Kernel:  c.Kernel,
+			Members: c.Members,
+			Samples: c.Samples,
+			Weight:  c.Weight,
+			Mean:    c.Mean,
+			StdDev:  c.StdDev,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadPlanJSON deserializes a plan written by WriteJSON.
+func ReadPlanJSON(r io.Reader) (*Plan, error) {
+	var in planJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("stemroot: decode plan: %w", err)
+	}
+	if in.Version != planSchemaVersion {
+		return nil, fmt.Errorf("stemroot: unsupported plan schema version %d", in.Version)
+	}
+	p := &Plan{
+		Epsilon:        in.Epsilon,
+		Confidence:     in.Confidence,
+		PredictedError: in.PredictedError,
+	}
+	for _, c := range in.Clusters {
+		if c.Weight < 0 {
+			return nil, fmt.Errorf("stemroot: cluster %q has negative weight", c.Kernel)
+		}
+		p.Clusters = append(p.Clusters, Cluster{
+			Kernel:  c.Kernel,
+			Members: c.Members,
+			Samples: c.Samples,
+			Weight:  c.Weight,
+			Mean:    c.Mean,
+			StdDev:  c.StdDev,
+		})
+	}
+	return p, nil
+}

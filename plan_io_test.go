@@ -1,0 +1,62 @@
+package stemroot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	names, times := syntheticProfile(6000, 5)
+	plan, err := Sample(names, times, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := plan.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPlanJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Clusters) != len(plan.Clusters) {
+		t.Fatalf("cluster count: %d vs %d", len(got.Clusters), len(plan.Clusters))
+	}
+	if got.Epsilon != plan.Epsilon || got.PredictedError != plan.PredictedError {
+		t.Fatal("metadata lost")
+	}
+	// The estimator must behave identically on the round-tripped plan.
+	timeOf := func(i int) float64 { return times[i] }
+	if got.Estimate(timeOf) != plan.Estimate(timeOf) {
+		t.Fatal("estimates diverge after round trip")
+	}
+}
+
+func TestReadPlanJSONErrors(t *testing.T) {
+	if _, err := ReadPlanJSON(strings.NewReader("{broken")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := ReadPlanJSON(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("expected version error")
+	}
+	if _, err := ReadPlanJSON(strings.NewReader(
+		`{"version":1,"clusters":[{"kernel":"k","weight":-1}]}`)); err == nil {
+		t.Fatal("expected weight validation error")
+	}
+}
+
+func TestSmallSampleTOption(t *testing.T) {
+	names, times := syntheticProfile(6000, 6)
+	z, err := Sample(names, times, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := Sample(names, times, Options{SmallSampleT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.TotalSamples() < z.TotalSamples() {
+		t.Fatalf("t-corrected plan smaller: %d vs %d", tt.TotalSamples(), z.TotalSamples())
+	}
+}

@@ -1,0 +1,210 @@
+// Package stemroot is the public API of the STEM+ROOT reproduction — a
+// fine-grained kernel-level sampling methodology for trustworthy large-scale
+// GPU simulation (Chung, Na, Kang, Kim — MICRO 2025).
+//
+// The library turns a workload's kernel execution-time profile into a
+// sampling plan with a provable error bound: ROOT hierarchically clusters
+// invocations of each kernel by execution time, and STEM's statistical
+// error model (Central Limit Theorem + a KKT solver) jointly picks the
+// minimal per-cluster sample sizes that keep the weighted-sum estimate of
+// total execution time within a target relative error ε at a chosen
+// confidence level.
+//
+// # Quick start
+//
+//	names, times := loadProfile() // one entry per kernel invocation
+//	plan, err := stemroot.Sample(names, times, stemroot.Options{})
+//	if err != nil { ... }
+//	for _, c := range plan.Clusters { simulate(c.Samples) }
+//	total := plan.Estimate(func(i int) float64 { return simulatedTime(i) })
+//
+// Everything else — the synthetic benchmark suites, the GPU hardware timing
+// model, the cycle-level simulator, the baseline sampling methods, and the
+// per-table/figure experiment runners — lives in the internal packages and
+// is exercised through the binaries in cmd/ and the examples/ directory.
+package stemroot
+
+import (
+	"errors"
+	"fmt"
+
+	"stemroot/internal/core"
+	"stemroot/internal/stats"
+)
+
+// Options configures Sample. The zero value uses the paper's defaults
+// (ε = 5% at 95% confidence, k = 2 splits, seed 1).
+type Options struct {
+	// Epsilon is the target relative error bound in (0,1); 0 means 0.05.
+	Epsilon float64
+	// Confidence is the confidence level in (0,1); 0 means 0.95.
+	Confidence float64
+	// SplitK is ROOT's subclusters per split; 0 means 2.
+	SplitK int
+	// Seed drives clustering initialization and sample selection; 0 means 1.
+	Seed uint64
+	// Flat disables ROOT's hierarchical splitting (STEM-only sizing over
+	// per-name clusters). Mainly useful for ablation studies.
+	Flat bool
+	// SmallSampleT resizes clusters whose z-based sample size falls below
+	// the CLT rule of thumb (m < 30) with Student-t quantiles — a rigorous
+	// small-sample extension of the paper's error model.
+	SmallSampleT bool
+}
+
+func (o Options) params() core.Params {
+	p := core.DefaultParams()
+	if o.Epsilon > 0 {
+		p.Epsilon = o.Epsilon
+	}
+	if o.Confidence > 0 {
+		p.Confidence = o.Confidence
+	}
+	if o.SplitK > 0 {
+		p.SplitK = o.SplitK
+	}
+	if o.Seed != 0 {
+		p.Seed = o.Seed
+	}
+	p.SmallSampleT = o.SmallSampleT
+	return p
+}
+
+// Cluster is one leaf of the sampling plan.
+type Cluster struct {
+	// Kernel is the kernel name the cluster belongs to.
+	Kernel string
+	// Members are the invocation indices the cluster represents.
+	Members []int
+	// Samples are the invocation indices to simulate (drawn with
+	// replacement; simulate distinct ones once and reuse the result).
+	Samples []int
+	// Weight multiplies each sample's measured time in the estimate.
+	Weight float64
+	// Mean and StdDev summarize the cluster's profiled times.
+	Mean, StdDev float64
+}
+
+// Plan is a complete sampling plan.
+type Plan struct {
+	// Clusters cover every invocation exactly once.
+	Clusters []Cluster
+	// PredictedError is the theoretical relative error bound of the plan
+	// (Eq. 4/5 of the paper), at most Epsilon by construction.
+	PredictedError float64
+	// Epsilon and Confidence echo the effective parameters.
+	Epsilon, Confidence float64
+}
+
+// Sample builds a STEM+ROOT sampling plan from a kernel-level profile:
+// names[i] and timesUS[i] describe invocation i of the workload in
+// chronological order. Times must be non-negative; the two slices must have
+// equal nonzero length.
+func Sample(names []string, timesUS []float64, opts Options) (*Plan, error) {
+	if len(names) == 0 {
+		return nil, errors.New("stemroot: empty profile")
+	}
+	if len(names) != len(timesUS) {
+		return nil, fmt.Errorf("stemroot: %d names for %d times", len(names), len(timesUS))
+	}
+	for i, t := range timesUS {
+		if t < 0 {
+			return nil, fmt.Errorf("stemroot: negative time at invocation %d", i)
+		}
+	}
+	p := opts.params()
+	var (
+		cp  *core.Plan
+		err error
+	)
+	if opts.Flat {
+		cp, err = core.BuildPlanFlat(names, timesUS, p)
+	} else {
+		cp, err = core.BuildPlan(names, timesUS, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{
+		PredictedError: cp.PredictedError,
+		Epsilon:        p.Epsilon,
+		Confidence:     p.Confidence,
+	}
+	for i := range cp.Clusters {
+		c := &cp.Clusters[i]
+		plan.Clusters = append(plan.Clusters, Cluster{
+			Kernel:  c.Name,
+			Members: c.Indices,
+			Samples: c.Samples,
+			Weight:  c.Weight,
+			Mean:    c.Stats.Mean,
+			StdDev:  c.Stats.StdDev,
+		})
+	}
+	return plan, nil
+}
+
+// SampledIndices returns the distinct invocation indices to simulate.
+func (p *Plan) SampledIndices() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for i := range p.Clusters {
+		for _, s := range p.Clusters[i].Samples {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// TotalSamples returns the with-replacement sample count Σ m_i.
+func (p *Plan) TotalSamples() int {
+	n := 0
+	for i := range p.Clusters {
+		n += len(p.Clusters[i].Samples)
+	}
+	return n
+}
+
+// Estimate extrapolates the workload's total execution time from measured
+// sample times: timeOf(i) must return the measured time of invocation i
+// (only sampled indices are queried). The estimate's relative error is
+// within Epsilon of the true total at the configured confidence, provided
+// timeOf comes from the same machine distribution the plan was built from.
+func (p *Plan) Estimate(timeOf func(int) float64) float64 {
+	var total float64
+	for i := range p.Clusters {
+		c := &p.Clusters[i]
+		var sum float64
+		for _, s := range c.Samples {
+			sum += timeOf(s)
+		}
+		total += c.Weight * sum
+	}
+	return total
+}
+
+// SampleSize implements the paper's Eq. (3) for a single cluster: the
+// minimal number of samples keeping the CLT error of the mean-based total
+// estimate within epsilon at the given confidence, for a population of n
+// observations with the given mean and standard deviation.
+func SampleSize(n int, mean, stdDev, epsilon, confidence float64) (int, error) {
+	if epsilon <= 0 || epsilon >= 1 {
+		return 0, errors.New("stemroot: epsilon must be in (0,1)")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, errors.New("stemroot: confidence must be in (0,1)")
+	}
+	p := core.DefaultParams()
+	p.Epsilon = epsilon
+	p.Confidence = confidence
+	return core.SampleSize(core.ClusterStats{N: n, Mean: mean, StdDev: stdDev}, p), nil
+}
+
+// ZScore exposes the two-sided standard score for a confidence level
+// (1.96 at 95%), as used throughout the error model.
+func ZScore(confidence float64) (float64, error) {
+	return stats.ZScore(confidence)
+}

@@ -1,0 +1,59 @@
+package stemroot
+
+import (
+	"stemroot/internal/core"
+)
+
+// Scanner streams (kernel name, execution time µs) pairs in invocation
+// order; Scan must reproduce the identical sequence on each call. It lets
+// SampleStream plan over profiles too large to hold in memory (the paper's
+// large-scale traces reach tens of millions of invocations).
+type Scanner interface {
+	Scan(yield func(name string, timeUS float64) bool) error
+}
+
+// StreamOptions tunes SampleStream's memory/accuracy tradeoff.
+type StreamOptions struct {
+	// ReservoirCap bounds the per-kernel time sample used for clustering;
+	// 0 means 8192. Peak memory is O(kernel names x ReservoirCap),
+	// independent of trace length.
+	ReservoirCap int
+}
+
+// SampleStream is Sample for out-of-core profiles: two sequential passes
+// over the scanner build the same kind of plan Sample produces, with
+// bounded memory. Cluster statistics are exact (streamed); the clustering
+// itself runs on per-kernel uniform reservoirs.
+func SampleStream(src Scanner, opts Options, sopts StreamOptions) (*Plan, error) {
+	cp, err := core.BuildPlanStream(scannerAdapter{src}, opts.params(),
+		core.StreamOptions{ReservoirCap: sopts.ReservoirCap})
+	if err != nil {
+		return nil, err
+	}
+	p := opts.params()
+	plan := &Plan{
+		PredictedError: cp.PredictedError,
+		Epsilon:        p.Epsilon,
+		Confidence:     p.Confidence,
+	}
+	for i := range cp.Clusters {
+		c := &cp.Clusters[i]
+		plan.Clusters = append(plan.Clusters, Cluster{
+			Kernel: c.Name,
+			// Members are not materialized in streaming mode; the weight
+			// carries the population.
+			Samples: c.Samples,
+			Weight:  c.Weight,
+			Mean:    c.Stats.Mean,
+			StdDev:  c.Stats.StdDev,
+		})
+	}
+	return plan, nil
+}
+
+// scannerAdapter bridges the public Scanner to the internal interface.
+type scannerAdapter struct{ s Scanner }
+
+func (a scannerAdapter) Scan(yield func(string, float64) bool) error {
+	return a.s.Scan(yield)
+}

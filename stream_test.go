@@ -1,0 +1,66 @@
+package stemroot
+
+import (
+	"math"
+	"testing"
+)
+
+type sliceScanner struct {
+	names []string
+	times []float64
+}
+
+func (s sliceScanner) Scan(yield func(string, float64) bool) error {
+	for i := range s.names {
+		if !yield(s.names[i], s.times[i]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func TestSampleStreamEndToEnd(t *testing.T) {
+	names, times := syntheticProfile(30000, 8)
+	plan, err := SampleStream(sliceScanner{names, times}, Options{}, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth float64
+	for _, tt := range times {
+		truth += tt
+	}
+	est := plan.Estimate(func(i int) float64 { return times[i] })
+	if rel := math.Abs(est-truth) / truth; rel > plan.Epsilon {
+		t.Fatalf("streaming error %v exceeds bound %v", rel, plan.Epsilon)
+	}
+	if n := len(plan.SampledIndices()); n == 0 || n >= len(times)/4 {
+		t.Fatalf("sampled %d of %d", n, len(times))
+	}
+}
+
+func TestSampleStreamTinyReservoir(t *testing.T) {
+	names, times := syntheticProfile(10000, 9)
+	plan, err := SampleStream(sliceScanner{names, times}, Options{},
+		StreamOptions{ReservoirCap: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth float64
+	for _, tt := range times {
+		truth += tt
+	}
+	est := plan.Estimate(func(i int) float64 { return times[i] })
+	if rel := math.Abs(est-truth) / truth; rel > plan.Epsilon {
+		t.Fatalf("tiny-reservoir error %v exceeds bound", rel)
+	}
+}
+
+func TestSampleStreamErrors(t *testing.T) {
+	if _, err := SampleStream(sliceScanner{}, Options{}, StreamOptions{}); err == nil {
+		t.Fatal("expected error for empty stream")
+	}
+	names, times := syntheticProfile(100, 10)
+	if _, err := SampleStream(sliceScanner{names, times}, Options{Epsilon: 5}, StreamOptions{}); err == nil {
+		t.Fatal("expected bad-epsilon error")
+	}
+}
