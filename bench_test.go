@@ -304,6 +304,23 @@ func BenchmarkExtensionMultiGPU(b *testing.B) {
 	}
 }
 
+// BenchmarkSuiteComparisonParallel measures the experiments-layer workload
+// fan-out across worker-pool sizes (j1 = serial baseline). Results are
+// bit-identical at every size; only wall-clock changes.
+func BenchmarkSuiteComparisonParallel(b *testing.B) {
+	for _, jobs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j%d", jobs), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Parallelism = jobs
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.SuiteComparison(cfg, workloads.SuiteRodinia); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkExtensionWarmup(b *testing.B) {
 	cfg := benchConfig()
 	cfg.DSEMaxCalls = 15

@@ -30,6 +30,7 @@ func main() {
 	scale := flag.String("scale", "quick", "quick or paper")
 	seed := flag.Uint64("seed", 1, "seed")
 	reps := flag.Int("reps", 0, "override repetitions (0 = scale default)")
+	jobs := flag.Int("j", 0, "worker count (0 = one per CPU, 1 = serial; results are identical)")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -42,6 +43,7 @@ func main() {
 		log.Fatalf("unknown scale %q", *scale)
 	}
 	cfg.Seed = *seed
+	cfg.Parallelism = *jobs
 	if *reps > 0 {
 		cfg.Reps = *reps
 	}

@@ -31,6 +31,7 @@ type cliConfig struct {
 	flat        bool
 	stream      bool
 	tdist       bool
+	jobs        int
 	planOut     string
 	verbose     bool
 }
@@ -47,6 +48,7 @@ func main() {
 	flag.BoolVar(&cfg.flat, "flat", false, "disable ROOT's hierarchical splitting")
 	flag.BoolVar(&cfg.stream, "stream", false, "two-pass streaming mode (bounded memory, for huge profiles)")
 	flag.BoolVar(&cfg.tdist, "tdist", false, "Student-t small-sample correction")
+	flag.IntVar(&cfg.jobs, "j", 0, "worker count (0 = one per CPU, 1 = serial; output is identical)")
 	flag.StringVar(&cfg.planOut, "o", "", "write the sampling plan as JSON to this path")
 	flag.BoolVar(&cfg.verbose, "v", false, "print every cluster")
 	flag.Parse()
@@ -66,6 +68,7 @@ func run(cfg cliConfig, out io.Writer) error {
 		Seed:         cfg.seed,
 		Flat:         cfg.flat,
 		SmallSampleT: cfg.tdist,
+		Parallelism:  cfg.jobs,
 	}
 
 	var (

@@ -34,7 +34,11 @@ func (n *nameStratified) Plan(w *trace.Workload, _ *trace.Profile) (*sampling.Pl
 	}
 	gen := rng.New(rng.Derive(n.seed, w.Seed))
 	plan := &sampling.Plan{Method: n.Name()}
-	for _, idxs := range w.GroupByName() {
+	// First-appearance order, not map order: gen is consumed per group, so
+	// iteration order must be deterministic for reproducible plans.
+	groups := w.GroupByName()
+	for _, name := range w.KernelNames() {
+		idxs := groups[name]
 		rep := idxs[gen.Intn(len(idxs))]
 		plan.Groups = append(plan.Groups, sampling.Group{
 			Samples: []int{rep},

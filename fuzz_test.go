@@ -2,6 +2,7 @@ package stemroot
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"stemroot/internal/rng"
@@ -69,6 +70,41 @@ func FuzzSample(f *testing.F) {
 			if rel := math.Abs(est-truth) / truth; rel > 3*plan.Epsilon {
 				t.Fatalf("error %v far exceeds bound %v (n=%d)", rel, plan.Epsilon, n)
 			}
+		}
+	})
+}
+
+// FuzzSampleParallel feeds randomized profiles through the parallel
+// clustering path and demands the plan be identical to the serial one —
+// the worker pool must never change any output bit.
+func FuzzSampleParallel(f *testing.F) {
+	f.Add(uint64(1), 500, 3, 4)
+	f.Add(uint64(7), 50, 1, 2)
+	f.Add(uint64(42), 2000, 5, 13)
+	f.Fuzz(func(t *testing.T, seed uint64, n, kinds, workers int) {
+		if n <= 0 || n > 5000 || kinds <= 0 || kinds > 16 || workers < 2 || workers > 64 {
+			t.Skip()
+		}
+		r := rng.New(seed)
+		names := make([]string, n)
+		times := make([]float64, n)
+		letters := "abcdefghijklmnop"
+		for i := range names {
+			k := r.Intn(kinds)
+			names[i] = letters[k : k+1]
+			times[i] = float64(1+k) * 10 * math.Exp(0.1*r.NormFloat64())
+		}
+
+		serial, err := Sample(names, times, Options{Seed: seed, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("valid profile rejected: %v", err)
+		}
+		par, err := Sample(names, times, Options{Seed: seed, Parallelism: workers})
+		if err != nil {
+			t.Fatalf("parallel path rejected what serial accepted: %v", err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("plan differs between 1 and %d workers (n=%d kinds=%d)", workers, n, kinds)
 		}
 	})
 }

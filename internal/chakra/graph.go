@@ -9,6 +9,9 @@
 // package provides the graph model, validation, topological iteration, and
 // a synthetic generator for data-parallel training traces with
 // computation-communication overlap.
+//
+// Graphs are not mutated after construction; concurrent readers are safe,
+// and generation is deterministic in the seed.
 package chakra
 
 import (

@@ -6,6 +6,10 @@
 // execution times; the PKA baseline applies N-D k-means over 12
 // instruction-level metrics with a k sweep; Photon reduces basic-block
 // vectors with PCA before comparing them.
+//
+// All entry points are pure functions of their inputs and an explicit seed
+// (no package-level state), so they are safe to call from many goroutines —
+// ROOT's parallel clustering fan-out relies on this.
 package cluster
 
 import (

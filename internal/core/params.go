@@ -12,6 +12,13 @@
 //     only if STEM's estimated simulation time decreases (Eq. 7 vs Eq. 8).
 //     Theorem 3.1 guarantees the union of per-set error-bounded clusters
 //     remains error-bounded.
+//
+// # Concurrency
+//
+// All functions are pure and safe for concurrent use. BuildClusters fans
+// out across kernel-name groups over Params.Workers workers; every split
+// derives its RNG from the kernel name, depth, and group size, so the
+// clustering is bit-identical for every worker count.
 package core
 
 import (
@@ -39,6 +46,10 @@ type Params struct {
 	// whose z-based size falls below the CLT rule-of-thumb (m < 30) are
 	// resized with t quantiles. An extension beyond the paper.
 	SmallSampleT bool
+	// Workers is the worker count for ROOT's per-kernel-name clustering
+	// fan-out: 0 selects one worker per CPU, 1 forces the serial path.
+	// Output is identical for every value.
+	Workers int
 }
 
 // DefaultParams returns the paper's evaluation configuration.

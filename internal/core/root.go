@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"stemroot/internal/cluster"
+	"stemroot/internal/parallel"
 	"stemroot/internal/rng"
 )
 
@@ -84,6 +85,11 @@ func rootSplit(name string, times []float64, idxs []int, p Params, depth int, ou
 //
 // names[i] and times[i] describe invocation i. The returned leaves cover
 // every invocation exactly once, ordered deterministically.
+//
+// Kernel-name groups are independent (each split derives its RNG from the
+// name, depth, and group size — never from other groups), so they fan out
+// over p.Workers workers; per-name leaf lists are flattened in sorted name
+// order, making the output identical for every worker count.
 func BuildClusters(names []string, times []float64, p Params) []Cluster {
 	byName := make(map[string][]int)
 	var order []string
@@ -95,9 +101,13 @@ func BuildClusters(names []string, times []float64, p Params) []Cluster {
 	}
 	sort.Strings(order) // deterministic independent of input order
 
+	perName, _ := parallel.Map(len(order), parallel.Workers(p.Workers),
+		func(i int) ([]Cluster, error) {
+			return rootSplit(order[i], times, byName[order[i]], p, 0, nil), nil
+		})
 	var out []Cluster
-	for _, n := range order {
-		out = rootSplit(n, times, byName[n], p, 0, out)
+	for _, leaves := range perName {
+		out = append(out, leaves...)
 	}
 	return out
 }

@@ -127,6 +127,41 @@ func TestRootDeterministic(t *testing.T) {
 	}
 }
 
+func TestBuildClustersDeterministicAcrossWorkers(t *testing.T) {
+	// Many kernel names so the fan-out actually distributes work.
+	r := rng.New(9)
+	var names []string
+	var times []float64
+	kernels := []string{"gemm", "relu", "pool", "softmax", "ln", "attn", "embed"}
+	for i := 0; i < 4000; i++ {
+		k := kernels[r.Intn(len(kernels))]
+		names = append(names, k)
+		base := float64(10 * (1 + r.Intn(3)))
+		times = append(times, base*math.Exp(0.2*r.NormFloat64()))
+	}
+	p := defaultP()
+	p.Workers = 1
+	want := BuildClusters(names, times, p)
+	for _, workers := range []int{2, 5, 16} {
+		p.Workers = workers
+		got := BuildClusters(names, times, p)
+		if len(got) != len(want) {
+			t.Fatalf("Workers=%d: %d leaves, serial %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Name != want[i].Name || got[i].Stats != want[i].Stats ||
+				len(got[i].Indices) != len(want[i].Indices) {
+				t.Fatalf("Workers=%d: leaf %d differs from serial", workers, i)
+			}
+			for j := range want[i].Indices {
+				if got[i].Indices[j] != want[i].Indices[j] {
+					t.Fatalf("Workers=%d: leaf %d member %d differs", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
 func TestRootKInsensitive(t *testing.T) {
 	// §3.4: "any number above 2 works well" — k=2,3,4 must all isolate the
 	// peaks (leaf CoV small) and give similar simulated time.

@@ -9,6 +9,9 @@
 // unsampled node inherits its cluster's sampled mean. Replaying the DAG
 // with estimated node times yields the estimated makespan; only the sampled
 // nodes ever need detailed simulation.
+//
+// Functions here are pure (per-call state only, RNGs derived from explicit
+// seeds) and safe for concurrent use on distinct or shared read-only graphs.
 package etsample
 
 import (

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"stemroot/internal/hwmodel"
+	"stemroot/internal/parallel"
 	"stemroot/internal/sampling"
 	"stemroot/internal/trace"
 	"stemroot/internal/workloads"
@@ -28,6 +29,11 @@ type Row struct {
 // against the RTX 2080 hardware profile, averaged over cfg.Reps
 // repetitions. This produces the Figure 7 (speedup) and Figure 8 (error)
 // series and the per-suite Table 3 columns.
+//
+// Workloads are independent (per-workload seeds, per-workload method
+// instances), so they fan out over cfg.Parallelism workers; per-workload
+// row groups are flattened in workload order, making the output identical
+// for every worker count.
 func SuiteComparison(cfg Config, suite string) ([]Row, error) {
 	scale := cfg.CASIOScale
 	if suite == workloads.SuiteHuggingFace {
@@ -38,42 +44,55 @@ func SuiteComparison(cfg Config, suite string) ([]Row, error) {
 		return nil, err
 	}
 
+	perWorkload, err := parallel.Map(len(ws), parallel.Workers(cfg.Parallelism),
+		func(i int) ([]Row, error) { return workloadRows(cfg, suite, ws[i]) })
+	if err != nil {
+		return nil, err
+	}
 	var rows []Row
-	for _, w := range ws {
-		prof := hwmodel.New(hwmodel.RTX2080, w.Seed).Profile(w)
-		byMethod := make(map[string][]sampling.Outcome)
-		var order []string
-		for rep := 0; rep < cfg.Reps; rep++ {
-			for _, m := range cfg.methods(suite, rep) {
-				plan, err := m.Plan(w, prof)
-				if err != nil {
-					return nil, fmt.Errorf("%s on %s: %w", m.Name(), w.Name, err)
-				}
-				out, err := sampling.Evaluate(plan, w, prof)
-				if err != nil {
-					return nil, err
-				}
-				if _, ok := byMethod[m.Name()]; !ok {
-					order = append(order, m.Name())
-				}
-				byMethod[m.Name()] = append(byMethod[m.Name()], out)
+	for _, group := range perWorkload {
+		rows = append(rows, group...)
+	}
+	return rows, nil
+}
+
+// workloadRows evaluates every (method, rep) pair on one workload — the
+// unit of SuiteComparison's fan-out.
+func workloadRows(cfg Config, suite string, w *trace.Workload) ([]Row, error) {
+	prof := hwmodel.New(hwmodel.RTX2080, w.Seed).Profile(w)
+	byMethod := make(map[string][]sampling.Outcome)
+	var order []string
+	for rep := 0; rep < cfg.Reps; rep++ {
+		for _, m := range cfg.methods(suite, rep) {
+			plan, err := m.Plan(w, prof)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", m.Name(), w.Name, err)
 			}
+			out, err := sampling.Evaluate(plan, w, prof)
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := byMethod[m.Name()]; !ok {
+				order = append(order, m.Name())
+			}
+			byMethod[m.Name()] = append(byMethod[m.Name()], out)
 		}
-		for _, name := range order {
-			outs := byMethod[name]
-			row := Row{
-				Suite:    suite,
-				Workload: w.Name,
-				Method:   name,
-				Speedup:  sampling.HarmonicMeanSpeedup(outs),
-				ErrorPct: sampling.MeanErrorPct(outs),
-			}
-			for _, o := range outs {
-				row.Samples += o.Samples
-			}
-			row.Samples /= len(outs)
-			rows = append(rows, row)
+	}
+	var rows []Row
+	for _, name := range order {
+		outs := byMethod[name]
+		row := Row{
+			Suite:    suite,
+			Workload: w.Name,
+			Method:   name,
+			Speedup:  sampling.HarmonicMeanSpeedup(outs),
+			ErrorPct: sampling.MeanErrorPct(outs),
 		}
+		for _, o := range outs {
+			row.Samples += o.Samples
+		}
+		row.Samples /= len(outs)
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

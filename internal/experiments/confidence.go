@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"stemroot/internal/hwmodel"
+	"stemroot/internal/parallel"
 	"stemroot/internal/sampling"
 	"stemroot/internal/workloads"
 )
@@ -26,6 +27,10 @@ type ConfidenceResult struct {
 // Because STEM's bound is derived for the worst acceptable sample sizes
 // (and the ceiling plus full-simulation capping only tighten it), the
 // empirical coverage should be at least the nominal confidence.
+//
+// Runs are independent (each derives its own seed), so they fan out over
+// cfg.Parallelism workers; per-run errors are folded in run order, making
+// the result identical for every worker count.
 func Confidence(cfg Config, runs int) (*ConfidenceResult, error) {
 	if runs <= 0 {
 		runs = 100
@@ -38,24 +43,31 @@ func Confidence(cfg Config, runs int) (*ConfidenceResult, error) {
 		Confidence: cfg.Confidence,
 		Runs:       runs,
 	}
+	errPcts, err := parallel.Map(runs, parallel.Workers(cfg.Parallelism),
+		func(r int) (float64, error) {
+			stem := &sampling.STEMRoot{Params: cfg.stemParams(cfg.Seed + uint64(r)*2654435761)}
+			plan, err := stem.Plan(w, prof)
+			if err != nil {
+				return 0, err
+			}
+			out, err := sampling.Evaluate(plan, w, prof)
+			if err != nil {
+				return 0, err
+			}
+			return out.ErrorPct, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	within := 0
-	for r := 0; r < runs; r++ {
-		stem := &sampling.STEMRoot{Params: cfg.stemParams(cfg.Seed + uint64(r)*2654435761)}
-		plan, err := stem.Plan(w, prof)
-		if err != nil {
-			return nil, err
-		}
-		out, err := sampling.Evaluate(plan, w, prof)
-		if err != nil {
-			return nil, err
-		}
-		if out.ErrorPct <= cfg.Epsilon*100 {
+	for _, errPct := range errPcts {
+		if errPct <= cfg.Epsilon*100 {
 			within++
 		}
-		if out.ErrorPct > res.MaxErrPct {
-			res.MaxErrPct = out.ErrorPct
+		if errPct > res.MaxErrPct {
+			res.MaxErrPct = errPct
 		}
-		res.MeanErrPct += out.ErrorPct
+		res.MeanErrPct += errPct
 	}
 	res.WithinPct = float64(within) / float64(runs) * 100
 	res.MeanErrPct /= float64(runs)

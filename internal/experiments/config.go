@@ -6,6 +6,17 @@
 // validation (Figure 14), profiling overheads (Table 5), and the §3.3/§6.2
 // ablations. Each runner returns a structured result with a Render method
 // that prints the same rows/series the paper reports.
+//
+// # Concurrency
+//
+// The heavy runners fan out over Config.Parallelism workers (0 = one per
+// CPU): SuiteComparison and WarmupAblation across workloads, Table4 across
+// workloads within each variant, Confidence across runs, and the
+// simulator-bound runners additionally inherit the pipeline's per-segment
+// kernel parallelism. Every work unit derives its own seeds and constructs
+// its own method/profiler instances, and partial results are folded in
+// fixed unit order, so runner output is bit-identical for every
+// Parallelism value — pinned by the determinism regression tests.
 package experiments
 
 import (
@@ -14,6 +25,7 @@ import (
 	"strings"
 
 	"stemroot/internal/core"
+	"stemroot/internal/pipeline"
 	"stemroot/internal/sampling"
 )
 
@@ -33,6 +45,15 @@ type Config struct {
 	RandomFracRodinia, RandomFracML float64
 	// DSEMaxCalls caps per-workload invocations in simulator experiments.
 	DSEMaxCalls int
+	// Parallelism is the worker count for the parallel runners and the
+	// simulation pipeline: 0 means one worker per CPU, 1 forces the serial
+	// path. Results are identical for every value (see package doc).
+	Parallelism int
+}
+
+// pipelineOpts builds the simulation pipeline options from the config.
+func (c Config) pipelineOpts() pipeline.Options {
+	return pipeline.Options{Workers: c.Parallelism}
 }
 
 // Quick returns a configuration sized for unit tests (seconds, not hours).

@@ -7,6 +7,7 @@ import (
 	"stemroot/internal/gpu"
 	"stemroot/internal/hwmodel"
 	"stemroot/internal/kernelgen"
+	"stemroot/internal/parallel"
 	"stemroot/internal/pipeline"
 	"stemroot/internal/sampling"
 	"stemroot/internal/trace"
@@ -57,6 +58,11 @@ func dseWorkloads(cfg Config) []*trace.Workload {
 // the RTX 2080 execution-time profile (hardware-side information only) and
 // reused unchanged across every variant — the paper's test of whether
 // sampling information survives microarchitectural change.
+//
+// Within each variant the workloads fan out over cfg.Parallelism workers
+// (each workload's full and sampled simulations are independent); partial
+// sums and Figure 12 bars are folded in workload order, so the result is
+// identical for every worker count.
 func Table4(cfg Config) (*Table4Result, error) {
 	lim := kernelgen.DSELimits()
 	ws := dseWorkloads(cfg)
@@ -69,38 +75,59 @@ func Table4(cfg Config) (*Table4Result, error) {
 	sums := make(map[key]float64)
 	counts := make(map[key]int)
 
+	// wsResult is one workload's contribution to a variant's rows.
+	type wsResult struct {
+		errSums map[string]float64
+		counts  map[string]int
+		bars    []Figure12Bar
+	}
+
 	for _, variant := range gpu.DSEVariants {
 		cfgGPU, err := gpu.Variant(variant)
 		if err != nil {
 			return nil, err
 		}
-		for wi, w := range ws {
-			full, err := pipeline.FullSim(w, cfgGPU, lim)
-			if err != nil {
-				return nil, err
-			}
-			for rep := 0; rep < cfg.Reps; rep++ {
-				for _, m := range cfg.dseMethods(rep) {
-					r, err := pipeline.Run(w, hwmodel.RTX2080, m, cfgGPU, lim, full)
-					if err != nil {
-						return nil, fmt.Errorf("table4 %s/%s/%s: %w", variant, w.Name, m.Name(), err)
-					}
-					k := key{variant, m.Name()}
-					sums[k] += r.Outcome.ErrorPct
-					counts[k]++
-					// Figure 12 keeps the first rep of a subset of
-					// workloads (three Rodinia + three HF).
-					if rep == 0 && (wi%3 == 0) {
-						res.Figure12 = append(res.Figure12, Figure12Bar{
-							Variant:        variant,
-							Workload:       w.Name,
-							Method:         m.Name(),
-							FullCycles:     r.FullCycles,
-							EstimateCycles: r.EstimateCycles,
-						})
+		partials, err := parallel.Map(len(ws), parallel.Workers(cfg.Parallelism),
+			func(wi int) (wsResult, error) {
+				w := ws[wi]
+				part := wsResult{errSums: make(map[string]float64), counts: make(map[string]int)}
+				full, err := pipeline.FullSimOpt(w, cfgGPU, lim, pipeline.Options{Workers: 1})
+				if err != nil {
+					return part, err
+				}
+				for rep := 0; rep < cfg.Reps; rep++ {
+					for _, m := range cfg.dseMethods(rep) {
+						r, err := pipeline.RunOpt(w, hwmodel.RTX2080, m, cfgGPU, lim, full,
+							pipeline.Options{Workers: 1})
+						if err != nil {
+							return part, fmt.Errorf("table4 %s/%s/%s: %w", variant, w.Name, m.Name(), err)
+						}
+						part.errSums[m.Name()] += r.Outcome.ErrorPct
+						part.counts[m.Name()]++
+						// Figure 12 keeps the first rep of a subset of
+						// workloads (three Rodinia + three HF).
+						if rep == 0 && (wi%3 == 0) {
+							part.bars = append(part.bars, Figure12Bar{
+								Variant:        variant,
+								Workload:       w.Name,
+								Method:         m.Name(),
+								FullCycles:     r.FullCycles,
+								EstimateCycles: r.EstimateCycles,
+							})
+						}
 					}
 				}
+				return part, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		for _, part := range partials {
+			for name, s := range part.errSums {
+				sums[key{variant, name}] += s
+				counts[key{variant, name}] += part.counts[name]
 			}
+			res.Figure12 = append(res.Figure12, part.bars...)
 		}
 	}
 
@@ -177,12 +204,12 @@ func FlushAblation(cfg Config) (*FlushResult, error) {
 		sums := make(map[string]float64)
 		n := make(map[string]int)
 		for _, w := range ws {
-			full, err := pipeline.FullSim(w, cfgGPU, lim)
+			full, err := pipeline.FullSimOpt(w, cfgGPU, lim, cfg.pipelineOpts())
 			if err != nil {
 				return nil, err
 			}
 			for _, m := range cfg.dseMethods(0) {
-				r, err := pipeline.Run(w, hwmodel.RTX2080, m, cfgGPU, lim, full)
+				r, err := pipeline.RunOpt(w, hwmodel.RTX2080, m, cfgGPU, lim, full, cfg.pipelineOpts())
 				if err != nil {
 					return nil, err
 				}

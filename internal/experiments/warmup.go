@@ -7,6 +7,7 @@ import (
 	"stemroot/internal/gpu"
 	"stemroot/internal/hwmodel"
 	"stemroot/internal/kernelgen"
+	"stemroot/internal/parallel"
 	"stemroot/internal/pipeline"
 	"stemroot/internal/sampling"
 	"stemroot/internal/workloads"
@@ -23,47 +24,77 @@ type WarmupPoint struct {
 // each sampled kernel on the reduced Rodinia workloads. The paper expects
 // little accuracy change (cache reuse is intra-kernel) at a real simulation
 // cost — quantifying why full warmup machinery is unnecessary.
+//
+// Workloads fan out over cfg.Parallelism workers per warmup setting
+// (SampledSimWarm itself is inherently serial); per-workload partials are
+// folded in workload order, so the result is identical for every worker
+// count.
 func WarmupAblation(cfg Config) ([]WarmupPoint, error) {
 	lim := kernelgen.DSELimits()
 	ws := workloads.DSERodinia(cfg.Seed, cfg.DSEMaxCalls)
 	gcfg := gpu.Baseline()
 
+	// wsPartial is one workload's contribution to a warmup point.
+	type wsPartial struct {
+		errPct                 float64
+		counted                bool
+		warmCycles, measCycles float64
+	}
+
 	var out []WarmupPoint
 	for _, warm := range []int{0, 1, 2, 4} {
+		partials, err := parallel.Map(len(ws), parallel.Workers(cfg.Parallelism),
+			func(wi int) (wsPartial, error) {
+				w := ws[wi]
+				var part wsPartial
+				full, err := pipeline.FullSimOpt(w, gcfg, lim, pipeline.Options{Workers: 1})
+				if err != nil {
+					return part, err
+				}
+				prof := hwmodel.New(hwmodel.RTX2080, w.Seed).Profile(w)
+				stem := &sampling.STEMRoot{Params: cfg.stemParams(cfg.Seed)}
+				plan, err := stem.Plan(w, prof)
+				if err != nil {
+					return part, err
+				}
+				indices := plan.SampledIndices()
+				times, wc, err := pipeline.SampledSimWarm(w, gcfg, lim, indices, warm)
+				if err != nil {
+					return part, err
+				}
+				est := plan.Estimate(func(i int) float64 { return times[i] })
+				var truth float64
+				for _, c := range full {
+					truth += c
+				}
+				if truth > 0 {
+					d := est - truth
+					if d < 0 {
+						d = -d
+					}
+					part.errPct = d / truth * 100
+					part.counted = true
+				}
+				part.warmCycles = wc
+				// Sum in plan order, not map-iteration order, so the share
+				// is bit-stable across runs and worker counts.
+				for _, ix := range indices {
+					part.measCycles += times[ix]
+				}
+				return part, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		var errSum, warmCycles, measCycles float64
 		n := 0
-		for _, w := range ws {
-			full, err := pipeline.FullSim(w, gcfg, lim)
-			if err != nil {
-				return nil, err
-			}
-			prof := hwmodel.New(hwmodel.RTX2080, w.Seed).Profile(w)
-			stem := &sampling.STEMRoot{Params: cfg.stemParams(cfg.Seed)}
-			plan, err := stem.Plan(w, prof)
-			if err != nil {
-				return nil, err
-			}
-			times, wc, err := pipeline.SampledSimWarm(w, gcfg, lim, plan.SampledIndices(), warm)
-			if err != nil {
-				return nil, err
-			}
-			est := plan.Estimate(func(i int) float64 { return times[i] })
-			var truth float64
-			for _, c := range full {
-				truth += c
-			}
-			if truth > 0 {
-				d := est - truth
-				if d < 0 {
-					d = -d
-				}
-				errSum += d / truth * 100
+		for _, part := range partials {
+			if part.counted {
+				errSum += part.errPct
 				n++
 			}
-			warmCycles += wc
-			for _, c := range times {
-				measCycles += c
-			}
+			warmCycles += part.warmCycles
+			measCycles += part.measCycles
 		}
 		p := WarmupPoint{Warmup: warm, ErrorPct: errSum / float64(n)}
 		if measCycles > 0 {

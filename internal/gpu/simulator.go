@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"stemroot/internal/kernelgen"
+	"stemroot/internal/parallel"
 )
 
 // KernelResult reports one simulated kernel execution.
@@ -19,6 +20,11 @@ type KernelResult struct {
 // across kernels within a Simulator (real GPUs retain L2 state across kernel
 // boundaries), enabling the §6.2 inter-kernel reuse ablation via
 // Config.FlushL2BetweenKernels.
+//
+// A Simulator is NOT safe for concurrent use: RunKernel mutates the shared
+// L2 and per-run scratch state. Parallel callers create one Simulator per
+// worker (see RunSegmented and internal/pipeline), which is cheap — the
+// dominant cost is kernel execution, not construction.
 type Simulator struct {
 	cfg Config
 	l2  *Cache
@@ -230,6 +236,65 @@ func (s *Simulator) RunSpecs(specs []*kernelgen.Spec) ([]KernelResult, float64) 
 		total += results[i].Cycles
 	}
 	return results, total
+}
+
+// DefaultSegmentLen is the replay-segment length used by RunSegmented when
+// none is specified. Within a segment L2 state persists across kernels as
+// in RunSpecs; each segment starts cold. 16 kernels is enough for the
+// (small, §6.2) inter-kernel weight reuse to behave as in an unsegmented
+// replay for all but the first kernels of a segment, while still exposing
+// one unit of parallelism per 16 invocations.
+const DefaultSegmentLen = 16
+
+// RunSegmented is the parallel variant of RunSpecs used by full-simulation
+// baselines: the spec sequence is cut into fixed-length segments, each
+// segment runs on its own fresh Simulator (so workers never share mutable
+// state), and results are collected by spec index. The segmentation depends
+// only on len(specs) and segLen — never on the worker count or scheduling —
+// so the output is bit-identical for every workers value, including the
+// serial workers == 1 path. segLen <= 0 selects DefaultSegmentLen;
+// workers <= 0 selects one worker per CPU.
+//
+// The semantic difference from RunSpecs is that L2 state does not persist
+// across segment boundaries. This is the standard trace-level-parallelism
+// trade (cold caches at chunk starts); the paper's §6.2 ablation bounds the
+// inter-kernel reuse it discards.
+func RunSegmented(cfg Config, specs []*kernelgen.Spec, segLen, workers int) ([]KernelResult, float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if segLen <= 0 {
+		segLen = DefaultSegmentLen
+	}
+	nseg := (len(specs) + segLen - 1) / segLen
+	segments, err := parallel.Map(nseg, parallel.Workers(workers), func(s int) ([]KernelResult, error) {
+		sim, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		lo := s * segLen
+		hi := lo + segLen
+		if hi > len(specs) {
+			hi = len(specs)
+		}
+		out := make([]KernelResult, hi-lo)
+		for i, sp := range specs[lo:hi] {
+			out[i] = sim.RunKernel(sp)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	results := make([]KernelResult, 0, len(specs))
+	var total float64
+	for _, seg := range segments {
+		for _, r := range seg {
+			results = append(results, r)
+			total += r.Cycles
+		}
+	}
+	return results, total, nil
 }
 
 // String describes the configuration, useful in experiment logs.

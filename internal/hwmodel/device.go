@@ -12,6 +12,11 @@
 // Times are deterministic given (workload seed, invocation sequence, device
 // name), so the "ground truth" total execution time of a workload is an
 // exactly reproducible quantity.
+//
+// A Model is stateless: every timing call derives a fresh RNG from the
+// (seed, invocation, device) triple and mutates nothing, so one Model may
+// be shared by any number of goroutines — the parallel experiment runners
+// depend on this.
 package hwmodel
 
 import "fmt"

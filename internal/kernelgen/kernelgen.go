@@ -11,6 +11,11 @@
 // of simulated instructions while preserving the *relative* behaviour
 // (compute- vs memory-bound, cache-resident vs DRAM-streaming, divergent vs
 // uniform) that the DSE experiments measure.
+//
+// Spec generation is a pure function of the invocation and limits, and a
+// Spec is read-only once built (NewStream returns a fresh per-warp stream;
+// it never mutates the Spec), so specs may be built and executed
+// concurrently from many goroutines.
 package kernelgen
 
 import (

@@ -4,6 +4,9 @@
 // control) are extrapolated from the sampled kernels with the same weighted
 // sum used for total execution time, and compared against the full-workload
 // aggregate.
+//
+// All functions are pure aggregations over their inputs and safe for
+// concurrent use.
 package metrics
 
 import (

@@ -3,6 +3,9 @@
 // ring-collective timing model over the interconnect. Combined with
 // internal/etsample it realizes the paper's §6.2 multi-GPU future-work
 // direction end to end.
+//
+// Simulate allocates all scheduling state per call and never mutates the
+// graph, so concurrent simulations of the same or different graphs are safe.
 package multigpu
 
 import (

@@ -1,0 +1,96 @@
+// Package parallel is the deterministic worker-pool substrate shared by the
+// simulation pipeline (per-segment kernel simulation), the experiment
+// runners (per-workload fan-out), and ROOT's clustering (per-kernel-name
+// fan-out).
+//
+// Design contract: parallelism must never change results. Callers therefore
+// (a) decompose work into units whose outputs depend only on the unit index
+// — never on scheduling order or worker identity — and (b) collect results
+// by unit index, not completion order. Every unit owns its resources
+// (simulator instance, RNG stream derived from the unit's own seed); nothing
+// is shared between concurrently running units. Under that contract the
+// output of ForEach/Map is bit-identical for every worker count, including
+// the serial workers == 1 path, which is exercised by the determinism
+// regression tests in pipeline, experiments, and the root package.
+//
+// Errors do not cancel outstanding units: all n units always run, and Map
+// reports the error of the lowest-indexed failing unit. This keeps the
+// reported error — not just the data — independent of the worker count.
+// Work units in this codebase are short (one kernel segment, one workload),
+// so the cost of finishing a doomed batch is negligible compared to
+// nondeterministic error reporting.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0) (one worker per available CPU); anything else is
+// returned unchanged. Callers pass user-facing "-j" values through this so
+// that 0 means "use the machine" everywhere.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach invokes fn(i) for every i in [0, n), spread over the given number
+// of workers. Indices are claimed from an atomic counter, so the assignment
+// of index to worker is nondeterministic — fn's output must depend only on
+// i. With workers <= 1 (or n <= 1) the loop runs serially in index order on
+// the calling goroutine; fn must be safe for concurrent invocation on
+// distinct indices whenever workers > 1.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn(i) for every i in [0, n) over the given number of workers and
+// returns the results indexed by i. If any calls fail, every unit still
+// runs, and the error of the lowest-indexed failing call is returned
+// (with a complete results slice, so callers can inspect partial output).
+// fn must be safe for concurrent invocation on distinct indices whenever
+// workers > 1.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	ForEach(n, workers, func(i int) {
+		results[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

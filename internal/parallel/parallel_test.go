@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		n := 57
+		var counts [57]atomic.Int32
+		ForEach(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-5, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty index space")
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	n := 101
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		got, err := Map(n, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapReportsLowestIndexedError(t *testing.T) {
+	failAt := map[int]bool{3: true, 7: true, 11: true}
+	for _, workers := range []int{1, 2, 8} {
+		ran := make([]atomic.Bool, 16)
+		_, err := Map(16, workers, func(i int) (int, error) {
+			ran[i].Store(true)
+			if failAt[i] {
+				return 0, fmt.Errorf("unit %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "unit 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want lowest-indexed failure", workers, err)
+		}
+		// Errors must not cancel outstanding units.
+		for i := range ran {
+			if !ran[i].Load() {
+				t.Fatalf("workers=%d: unit %d skipped after error", workers, i)
+			}
+		}
+	}
+}
+
+func TestMapNilErrorPassthrough(t *testing.T) {
+	out, err := Map(4, 2, func(i int) (string, error) {
+		if i == 2 {
+			return "", errors.New("boom")
+		}
+		return "ok", nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if len(out) != 4 {
+		t.Fatalf("partial results length %d", len(out))
+	}
+}

@@ -1,0 +1,31 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"stemroot/internal/gpu"
+	"stemroot/internal/kernelgen"
+	"stemroot/internal/workloads"
+)
+
+// BenchmarkFullSim measures the segmented simulation pass across worker
+// counts — the tentpole speedup claim. Sub-benchmark names carry the pool
+// size (j1 = serial baseline); on an N-core machine j4/jN should approach
+// 4x/Nx the j1 throughput while producing bit-identical cycles.
+func BenchmarkFullSim(b *testing.B) {
+	cfg := gpu.Baseline()
+	lim := kernelgen.DSELimits()
+	ws := workloads.DSERodinia(1, 120)
+	w := ws[0]
+	for _, jobs := range []int{1, 2, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("j%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := FullSimOpt(w, cfg, lim, Options{Workers: jobs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,127 @@
+package pipeline
+
+import (
+	"runtime"
+	"testing"
+
+	"stemroot/internal/gpu"
+	"stemroot/internal/hwmodel"
+	"stemroot/internal/kernelgen"
+	"stemroot/internal/sampling"
+)
+
+// workerCounts are the pool sizes every determinism test compares: the
+// forced-serial path, a small fixed pool, one per CPU, and an
+// oversubscribed pool.
+func workerCounts() []int {
+	return []int{1, 2, runtime.NumCPU(), 2 * runtime.NumCPU()}
+}
+
+// TestFullSimDeterministicAcrossWorkers pins the tentpole contract: the
+// segmented parallel simulation is bit-identical at every worker count,
+// including the serial path.
+func TestFullSimDeterministicAcrossWorkers(t *testing.T) {
+	w := dseWorkload(t, "heartwall", 40)
+	cfg := gpu.Baseline()
+	lim := kernelgen.DSELimits()
+
+	want, err := FullSimOpt(w, cfg, lim, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range workerCounts() {
+		got, err := FullSimOpt(w, cfg, lim, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d cycles, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: invocation %d = %v, serial %v",
+					workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSampledSimDeterministicAcrossWorkers(t *testing.T) {
+	w := dseWorkload(t, "lud", 40)
+	cfg := gpu.Baseline()
+	lim := kernelgen.DSELimits()
+	// Every other invocation, then a couple of out-of-order repeats of the
+	// sampled-trace-replay shape.
+	var indices []int
+	for i := 0; i < w.Len(); i += 2 {
+		indices = append(indices, i)
+	}
+	indices = append(indices, 1, 5)
+
+	want, err := SampledSimOpt(w, cfg, lim, indices, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range workerCounts() {
+		got, err := SampledSimOpt(w, cfg, lim, indices, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ix := range indices {
+			if got[ix] != want[ix] {
+				t.Fatalf("workers=%d: index %d = %v, serial %v", workers, ix, got[ix], want[ix])
+			}
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkers runs the whole profile->plan->simulate->
+// estimate pipeline and compares every Outcome field bit for bit.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	w := dseWorkload(t, "heartwall", 40)
+	cfg := gpu.Baseline()
+	lim := kernelgen.DSELimits()
+	full, err := FullSimOpt(w, cfg, lim, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunOpt(w, hwmodel.RTX2080, sampling.NewSTEMRoot(1), cfg, lim, full, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range workerCounts() {
+		got, err := RunOpt(w, hwmodel.RTX2080, sampling.NewSTEMRoot(1), cfg, lim, full,
+			Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *want {
+			t.Fatalf("workers=%d: result %+v differs from serial %+v", workers, *got, *want)
+		}
+	}
+}
+
+// TestSegmentLenChangesAreExplicit documents that SegmentLen (unlike
+// Workers) IS semantically meaningful: it decides where L2 goes cold, so
+// different values may legally change cycle counts. The test only demands
+// each SegmentLen be self-consistent across worker counts.
+func TestSegmentLenSelfConsistent(t *testing.T) {
+	w := dseWorkload(t, "heartwall", 40)
+	cfg := gpu.Baseline()
+	lim := kernelgen.DSELimits()
+	for _, segLen := range []int{1, 4, 16, 64} {
+		want, err := FullSimOpt(w, cfg, lim, Options{Workers: 1, SegmentLen: segLen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FullSimOpt(w, cfg, lim, Options{Workers: 3, SegmentLen: segLen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("segLen=%d: invocation %d differs across worker counts", segLen, i)
+			}
+		}
+	}
+}

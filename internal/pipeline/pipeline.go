@@ -3,6 +3,21 @@
 // hardware, a sampling method turns the trace (and, for STEM, the profile)
 // into sampling information, the cycle-level simulator runs only the sampled
 // kernels, and the weighted-sum estimator extrapolates full-workload cycles.
+//
+// # Concurrency
+//
+// The simulation passes (FullSim, SampledSim and their Opt variants) run
+// kernel invocations in parallel using deterministic fixed-length replay
+// segments: the invocation sequence is cut into segments of
+// Options.SegmentLen, each segment is simulated on its own fresh
+// gpu.Simulator (the Simulator is not safe for concurrent use — one
+// instance per worker), and cycle counts are collected by invocation index.
+// Because the segmentation depends only on the input — never on the worker
+// count or goroutine scheduling — results are bit-identical for every
+// Options.Workers value, including the serial workers == 1 path; the
+// determinism regression tests pin this. SampledSimWarm is inherently
+// sequential (it reconstructs L2 state by replaying predecessors) and stays
+// serial.
 package pipeline
 
 import (
@@ -15,38 +30,78 @@ import (
 	"stemroot/internal/trace"
 )
 
-// FullSim simulates every invocation of the workload in order on a fresh
-// simulator, returning per-invocation cycle counts. This is the ground
-// truth sampled simulation is compared against — and the cost it avoids.
+// Options control the execution of the pipeline's simulation passes.
+// The zero value uses one worker per CPU and gpu.DefaultSegmentLen.
+type Options struct {
+	// Workers is the number of simulation workers: 0 selects one per CPU,
+	// 1 forces the serial path (identical output, no goroutines).
+	Workers int
+	// SegmentLen is the replay-segment length; 0 selects
+	// gpu.DefaultSegmentLen. L2 state persists within a segment and is cold
+	// at segment starts. The segmentation — and therefore the simulated
+	// cycle counts — depends only on this value, never on Workers.
+	SegmentLen int
+}
+
+// specsOf builds the per-invocation kernel specs for a workload subset.
+func specsOf(w *trace.Workload, lim kernelgen.Limits, indices []int) []*kernelgen.Spec {
+	specs := make([]*kernelgen.Spec, len(indices))
+	for i, ix := range indices {
+		spec := kernelgen.FromInvocation(&w.Invs[ix], lim)
+		specs[i] = &spec
+	}
+	return specs
+}
+
+// FullSim simulates every invocation of the workload, returning
+// per-invocation cycle counts. This is the ground truth sampled simulation
+// is compared against — and the cost it avoids. It is FullSimOpt with
+// default options (parallel across all CPUs).
 func FullSim(w *trace.Workload, cfg gpu.Config, lim kernelgen.Limits) ([]float64, error) {
-	sim, err := gpu.New(cfg)
+	return FullSimOpt(w, cfg, lim, Options{})
+}
+
+// FullSimOpt is FullSim with explicit worker-pool options. Results are
+// bit-identical for every opt.Workers value.
+func FullSimOpt(w *trace.Workload, cfg gpu.Config, lim kernelgen.Limits, opt Options) ([]float64, error) {
+	indices := make([]int, w.Len())
+	for i := range indices {
+		indices[i] = i
+	}
+	results, _, err := gpu.RunSegmented(cfg, specsOf(w, lim, indices), opt.SegmentLen, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
-	cycles := make([]float64, w.Len())
-	for i := range w.Invs {
-		spec := kernelgen.FromInvocation(&w.Invs[i], lim)
-		cycles[i] = sim.RunKernel(&spec).Cycles
+	cycles := make([]float64, len(results))
+	for i, r := range results {
+		cycles[i] = r.Cycles
 	}
 	return cycles, nil
 }
 
-// SampledSim simulates only the given invocation indices (in workload
-// order) on a fresh simulator, returning cycles per simulated index. L2
-// state persists across the sampled kernels exactly as it would across a
-// sampled trace replay.
+// SampledSim simulates only the given invocation indices (in the order
+// given, as a sampled trace replay would), returning cycles per simulated
+// index. L2 state persists across the sampled kernels within each replay
+// segment. It is SampledSimOpt with default options.
 func SampledSim(w *trace.Workload, cfg gpu.Config, lim kernelgen.Limits, indices []int) (map[int]float64, error) {
-	sim, err := gpu.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[int]float64, len(indices))
+	return SampledSimOpt(w, cfg, lim, indices, Options{})
+}
+
+// SampledSimOpt is SampledSim with explicit worker-pool options. Results
+// are bit-identical for every opt.Workers value.
+func SampledSimOpt(w *trace.Workload, cfg gpu.Config, lim kernelgen.Limits, indices []int, opt Options) (map[int]float64, error) {
 	for _, ix := range indices {
 		if ix < 0 || ix >= w.Len() {
 			return nil, errors.New("pipeline: sample index out of range")
 		}
-		spec := kernelgen.FromInvocation(&w.Invs[ix], lim)
-		out[ix] = sim.RunKernel(&spec).Cycles
+	}
+	results, _, err := gpu.RunSegmented(cfg, specsOf(w, lim, indices), opt.SegmentLen, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]float64, len(indices))
+	for i, ix := range indices {
+		out[ix] = results[i].Cycles
 	}
 	return out, nil
 }
@@ -62,9 +117,16 @@ type Result struct {
 // Run profiles the workload on the profiling device, builds the method's
 // plan, runs the sampled simulation, and scores it against the supplied
 // ground-truth per-invocation cycles (computed once by FullSim so several
-// methods can share it).
+// methods can share it). It is RunOpt with default options.
 func Run(w *trace.Workload, profDev hwmodel.Device, method sampling.Method,
 	cfg gpu.Config, lim kernelgen.Limits, fullCycles []float64) (*Result, error) {
+	return RunOpt(w, profDev, method, cfg, lim, fullCycles, Options{})
+}
+
+// RunOpt is Run with explicit worker-pool options for the sampled
+// simulation pass.
+func RunOpt(w *trace.Workload, profDev hwmodel.Device, method sampling.Method,
+	cfg gpu.Config, lim kernelgen.Limits, fullCycles []float64, opt Options) (*Result, error) {
 
 	if len(fullCycles) != w.Len() {
 		return nil, errors.New("pipeline: ground-truth cycles length mismatch")
@@ -76,7 +138,7 @@ func Run(w *trace.Workload, profDev hwmodel.Device, method sampling.Method,
 	}
 
 	indices := plan.SampledIndices()
-	sampled, err := SampledSim(w, cfg, lim, indices)
+	sampled, err := SampledSimOpt(w, cfg, lim, indices, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -86,8 +148,10 @@ func Run(w *trace.Workload, profDev hwmodel.Device, method sampling.Method,
 	for _, c := range fullCycles {
 		truth += c
 	}
-	for _, c := range sampled {
-		cost += c
+	// Sum in plan order, not map-iteration order: float addition is not
+	// associative, and the determinism tests compare outcomes bit for bit.
+	for _, ix := range indices {
+		cost += sampled[ix]
 	}
 
 	res := &Result{

@@ -11,6 +11,9 @@
 // by an instruction-level slowdown, BBV collection is cheaper per kernel
 // but Photon's representative comparison adds an O(N·R·d) processing term,
 // and Nsight Systems adds only a small per-launch tracing cost.
+//
+// Profilers hold no mutable state across calls; they are safe for
+// concurrent use on shared read-only workloads.
 package profiler
 
 import (

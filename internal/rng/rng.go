@@ -7,6 +7,13 @@
 // repeatable and so that the "ground truth" of a workload is stable across
 // runs. The package implements SplitMix64 (for seed derivation) and a
 // PCG-XSH-RR style generator (for streams), both allocation-free.
+//
+// A *Rand is NOT safe for concurrent use: parallel code must give each
+// goroutine its own generator, derived with Derive or Split from labels
+// that do not depend on goroutine scheduling (invocation index, kernel
+// name, run number). Derive, HashString, and New are pure and safe to call
+// from any goroutine; this derive-per-unit discipline is what makes the
+// worker pools bit-deterministic.
 package rng
 
 import "math"

@@ -6,6 +6,11 @@
 // Only STEM+ROOT reads measured execution times (that is its signature);
 // PKA, Sieve, and Photon consume instruction-level metrics, instruction
 // counts, and basic-block vectors respectively, exactly as in Table 1.
+//
+// Method values are cheap to construct and derive per-plan RNGs from their
+// seed rather than sharing generator state; the parallel experiment
+// runners nevertheless construct a fresh Method set per worker goroutine,
+// which is the supported concurrency pattern.
 package sampling
 
 import (

@@ -48,7 +48,12 @@ func (s *Sieve) Plan(w *trace.Workload, _ *trace.Profile) (*Plan, error) {
 	gen := rng.New(rng.Derive(s.Seed, w.Seed, rng.HashString("sieve")))
 
 	plan := &Plan{Method: s.Name()}
-	for _, idxs := range w.GroupByName() {
+	// Iterate name groups in first-appearance order, not map order: gen is
+	// consumed along the way, so the iteration order must be deterministic
+	// for plans to be reproducible run to run.
+	groups := w.GroupByName()
+	for _, name := range w.KernelNames() {
+		idxs := groups[name]
 		counts := make([]float64, len(idxs))
 		for j, ix := range idxs {
 			counts[j] = float64(w.Invs[ix].InstrsPerWarp)

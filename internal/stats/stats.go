@@ -7,6 +7,10 @@
 // STEM's error model (paper §3.2) is built entirely on the mean, standard
 // deviation, and coefficient of variation of kernel execution times, so this
 // package is the foundation of the whole methodology.
+//
+// Every function is pure (no package-level mutable state, no memoization)
+// and safe for concurrent use; the one stateful type, the Online streaming
+// accumulator, must be confined to a single goroutine.
 package stats
 
 import (

@@ -14,6 +14,10 @@
 //     op mix). Only the hardware model and the simulator may read it;
 //     samplers must never touch it. This mirrors reality, where the
 //     microarchitectural truth of a kernel is only observable by running it.
+//
+// Workloads and Invocations are read-only after generation (BBVs are
+// regenerated deterministically on demand, never cached), so any number of
+// goroutines may profile, sample, and simulate the same workload at once.
 package trace
 
 import "fmt"

@@ -16,6 +16,9 @@
 // paper's observation that identical code with identical launch parameters
 // behaves differently depending on input characteristics — while Rodinia's
 // irregular kernels genuinely vary their instruction counts.
+//
+// Generation is deterministic in the seed, and the returned workloads are
+// read-only thereafter — safe to share across worker goroutines.
 package workloads
 
 import (

@@ -50,6 +50,10 @@ type Options struct {
 	// the CLT rule of thumb (m < 30) with Student-t quantiles — a rigorous
 	// small-sample extension of the paper's error model.
 	SmallSampleT bool
+	// Parallelism is the worker count for ROOT's per-kernel clustering
+	// fan-out: 0 selects one worker per CPU, 1 forces the serial path. The
+	// plan is bit-identical for every value.
+	Parallelism int
 }
 
 func (o Options) params() core.Params {
@@ -67,6 +71,7 @@ func (o Options) params() core.Params {
 		p.Seed = o.Seed
 	}
 	p.SmallSampleT = o.SmallSampleT
+	p.Workers = o.Parallelism
 	return p
 }
 
