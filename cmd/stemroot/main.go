@@ -16,6 +16,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"stemroot"
@@ -51,10 +53,42 @@ func main() {
 	flag.IntVar(&cfg.jobs, "j", 0, "worker count (0 = one per CPU, 1 = serial; output is identical)")
 	flag.StringVar(&cfg.planOut, "o", "", "write the sampling plan as JSON to this path")
 	flag.BoolVar(&cfg.verbose, "v", false, "print every cluster")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer writeHeapProfile(*memProfile)
+	}
 
 	if err := run(cfg, os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// writeHeapProfile records an up-to-date heap profile, the evidence base
+// for allocation-focused perf work (go tool pprof <binary> <path>).
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Print(err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		log.Print(err)
 	}
 }
 

@@ -1,0 +1,142 @@
+package gpu
+
+import (
+	"testing"
+
+	"stemroot/internal/kernelgen"
+	"stemroot/internal/trace"
+)
+
+// goldenSpec mirrors the fixture used to record the golden results below.
+func goldenSpec(mem, loc, ra float64, fp int64, work int64, seq int) *kernelgen.Spec {
+	inv := trace.Invocation{
+		Seq:   seq,
+		Name:  "golden",
+		Grid:  trace.Dim3{X: 48},
+		Block: trace.Dim3{X: 192},
+		Latent: trace.Latent{
+			MemIntensity:   mem,
+			FootprintBytes: fp,
+			Locality:       loc,
+			RandomAccess:   ra,
+			ComputeWork:    work,
+		},
+		BBVSeed: 99,
+	}
+	s := kernelgen.FromInvocation(&inv, kernelgen.DefaultLimits())
+	return &s
+}
+
+// TestRunKernelGolden pins RunKernel's output bit-for-bit against results
+// recorded from the pre-arena engine (container/heap scheduler, per-kernel
+// cache allocation, pointer-based streams) at commit 50e8528. The
+// allocation-free engine must reproduce every field exactly: any change to
+// warp scheduling order, RNG consumption, or cache indexing shows up here
+// as a float64 mismatch. The sequence deliberately runs back-to-back
+// kernels on one Simulator (warm L2 + scratch reuse) and repeats the first
+// spec so a stale-scratch bug cannot hide.
+func TestRunKernelGolden(t *testing.T) {
+	specs := []*kernelgen.Spec{
+		goldenSpec(0.5, 0.5, 0.3, 1<<20, 5e8, 1),
+		goldenSpec(0.9, 0.2, 1.0, 4<<20, 3e8, 2),
+		goldenSpec(0.05, 0.9, 0.0, 256<<10, 8e8, 3),
+		goldenSpec(0.5, 0.5, 0.3, 1<<20, 5e8, 1), // repeat: warm weights
+	}
+	want := []KernelResult{
+		{Cycles: 30319.27786586326, Instructions: 249984, L1HitRate: 0.5020614991754003, L2HitRate: 0.7480434840674163},
+		{Cycles: 83389.81449658686, Instructions: 149760, L1HitRate: 0.17451091929859272, L2HitRate: 0.4008299128142134},
+		{Cycles: 9809.400000000032, Instructions: 294912, L1HitRate: 0.9013498312710911, L2HitRate: 0.5541619156214367},
+		{Cycles: 30234.016895605528, Instructions: 249984, L1HitRate: 0.5016358993456402, L2HitRate: 0.7505804488804676},
+	}
+	sim := mustSim(t, Baseline())
+	for i, sp := range specs {
+		got := sim.RunKernel(sp)
+		if got != want[i] {
+			t.Errorf("kernel %d: got %+v, want %+v", i, got, want[i])
+		}
+	}
+
+	// Flush variant exercises the §6.2 path through the same scratch arena.
+	fcfg := Baseline()
+	fcfg.FlushL2BetweenKernels = true
+	fwant := []KernelResult{
+		{Cycles: 30319.27786586326, Instructions: 249984, L1HitRate: 0.5020614991754003, L2HitRate: 0.7480434840674163},
+		{Cycles: 83965.22234671013, Instructions: 149760, L1HitRate: 0.17439962406944823, L2HitRate: 0.3998771774785435},
+	}
+	fsim := mustSim(t, fcfg)
+	for i, sp := range specs[:2] {
+		got := fsim.RunKernel(sp)
+		if got != fwant[i] {
+			t.Errorf("flush kernel %d: got %+v, want %+v", i, got, fwant[i])
+		}
+	}
+}
+
+// TestCacheResetMatchesFresh pins the Reset-equals-fresh argument: an
+// access stream replayed on a Reset cache must produce the same hits,
+// misses, and final tag state decisions as on a newly constructed one.
+func TestCacheResetMatchesFresh(t *testing.T) {
+	cfg := CacheConfig{SizeBytes: 32 << 10, LineBytes: 128, Ways: 4}
+	stream := make([]uint64, 6000)
+	r := uint64(12345)
+	for i := range stream {
+		r = r*6364136223846793005 + 1
+		stream[i] = (r >> 17) % (1 << 18)
+	}
+	replay := func(c *Cache) (hits []bool) {
+		hits = make([]bool, len(stream))
+		for i, a := range stream {
+			hits[i] = c.Access(a)
+		}
+		return hits
+	}
+	reused := NewCache(cfg)
+	replay(reused) // dirty the cache
+	reused.Reset()
+	got := replay(reused)
+	want := replay(NewCache(cfg))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("access %d: reset cache %v, fresh cache %v", i, got[i], want[i])
+		}
+	}
+	if reused.stamp == 0 {
+		t.Fatal("stamp did not advance")
+	}
+}
+
+// TestCachePow2FastPathMatchesSlow verifies the shift/mask fast path picks
+// the same set and line as the divide/modulo slow path by comparing a
+// power-of-two cache against one with identical geometry forced down the
+// slow path (non-power-of-two ways changes the set count away from 2^k).
+func TestCachePow2FastPathMatchesSlow(t *testing.T) {
+	fast := NewCache(CacheConfig{SizeBytes: 64 << 10, LineBytes: 128, Ways: 4})
+	if !fast.linePow2 || !fast.setPow2 {
+		t.Fatal("expected fast path for 64KiB/128B/4-way")
+	}
+	// Same geometry, slow path forced by clearing the flags.
+	slow := NewCache(CacheConfig{SizeBytes: 64 << 10, LineBytes: 128, Ways: 4})
+	slow.linePow2 = false
+	slow.setPow2 = false
+	r := uint64(777)
+	for i := 0; i < 20000; i++ {
+		r = r*6364136223846793005 + 1
+		addr := r % (1 << 22)
+		if fast.Access(addr) != slow.Access(addr) {
+			t.Fatalf("access %d (addr %#x): fast/slow disagree", i, addr)
+		}
+	}
+	if fast.Hits != slow.Hits || fast.Misses != slow.Misses {
+		t.Fatalf("stats diverged: fast %d/%d, slow %d/%d", fast.Hits, fast.Misses, slow.Hits, slow.Misses)
+	}
+	// A 3-way cache has 170 sets (non-power-of-two): must select slow path
+	// and still behave like an LRU cache.
+	odd := NewCache(CacheConfig{SizeBytes: 64 << 10, LineBytes: 128, Ways: 3})
+	if odd.setPow2 {
+		t.Fatal("170 sets should not take the mask path")
+	}
+	odd.Access(0)
+	if !odd.Access(0) {
+		t.Fatal("slow path broke basic caching")
+	}
+}

@@ -298,6 +298,8 @@ func TestNewRejectsBadConfig(t *testing.T) {
 func BenchmarkRunKernel(b *testing.B) {
 	sim := mustSim(b, Baseline())
 	spec := specFor(0.5, 0.5, 1<<20, 5e8)
+	sim.RunKernel(spec) // reach the scratch arena's high-water mark
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.RunKernel(spec)

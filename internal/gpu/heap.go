@@ -1,0 +1,60 @@
+package gpu
+
+// heapEntry is one resident warp in the scheduling heap: the cycle at which
+// the warp can issue next, and the index of its state in the simulator's
+// pooled warp-slot arena. Keeping the key inline and the bulky stream state
+// out-of-line makes sift swaps a 16-byte copy instead of a pointer chase
+// through a heap-allocated warpState.
+type heapEntry struct {
+	ready float64
+	slot  int32
+}
+
+// warpHeapPush appends e and restores the heap property, replicating
+// container/heap's Push exactly: append, then sift up with the same
+// strict-< comparator and the same swap sequence. Because swaps happen only
+// on strict inequality, entries with equal ready values keep their relative
+// insertion-order positions precisely as they did under container/heap —
+// which is what keeps warp scheduling, and therefore per-warp RNG
+// consumption and cycle counts, bit-identical to the boxed implementation.
+func warpHeapPush(h []heapEntry, e heapEntry) []heapEntry {
+	h = append(h, e)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !(h[j].ready < h[i].ready) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	return h
+}
+
+// warpHeapPop removes and returns the minimum entry, replicating
+// container/heap's Pop exactly: swap the root with the last element, sift
+// the new root down over the shortened heap (preferring the right child
+// only when strictly smaller, swapping only on strict inequality), then
+// truncate.
+func warpHeapPop(h []heapEntry) (heapEntry, []heapEntry) {
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].ready < h[j1].ready {
+			j = j2 // right child is strictly smaller
+		}
+		if !(h[j].ready < h[i].ready) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	top := h[n]
+	return top, h[:n]
+}

@@ -1,7 +1,6 @@
 package gpu
 
 import (
-	"container/heap"
 	"fmt"
 
 	"stemroot/internal/kernelgen"
@@ -21,13 +20,33 @@ type KernelResult struct {
 // boundaries), enabling the §6.2 inter-kernel reuse ablation via
 // Config.FlushL2BetweenKernels.
 //
+// Besides the L2, a Simulator owns a scratch arena — per-SM L1 caches,
+// issue clocks, MSHR files, pending-warp lists, the warp-scheduling heap,
+// and a slot pool of warp states with inline instruction streams — that is
+// allocated once and reset between kernels, so steady-state RunKernel calls
+// perform no heap allocation (pinned by TestRunKernelSteadyStateAllocs).
+//
 // A Simulator is NOT safe for concurrent use: RunKernel mutates the shared
-// L2 and per-run scratch state. Parallel callers create one Simulator per
+// L2 and the scratch arena. Parallel callers create one Simulator per
 // worker (see RunSegmented and internal/pipeline), which is cheap — the
 // dominant cost is kernel execution, not construction.
 type Simulator struct {
 	cfg Config
 	l2  *Cache
+
+	// Scratch arena, reused across RunKernel calls. Slices indexed by SM
+	// are sized once in New (the SM count is fixed per configuration);
+	// the heap, warp slots, and pending lists grow to the high-water mark
+	// of the kernels seen and are then reused.
+	l1s         []*Cache
+	pending     [][]int // per-SM launch-order warp ids
+	nextPending []int
+	activeBySM  []int
+	issueClock  []float64
+	mshrs       []mshrState
+	heap        []heapEntry
+	warps       []warpState // slot arena; heap entries index into it
+	freeSlots   []int32
 }
 
 // New validates the configuration and returns a simulator with cold caches.
@@ -35,7 +54,20 @@ func New(cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Simulator{cfg: cfg, l2: NewCache(cfg.L2)}, nil
+	s := &Simulator{
+		cfg:         cfg,
+		l2:          NewCache(cfg.L2),
+		l1s:         make([]*Cache, cfg.SMs),
+		pending:     make([][]int, cfg.SMs),
+		nextPending: make([]int, cfg.SMs),
+		activeBySM:  make([]int, cfg.SMs),
+		issueClock:  make([]float64, cfg.SMs),
+		mshrs:       make([]mshrState, cfg.SMs),
+	}
+	for i := range s.l1s {
+		s.l1s[i] = NewCache(cfg.L1)
+	}
+	return s, nil
 }
 
 // Config returns the simulator's configuration.
@@ -72,27 +104,36 @@ func (m *mshrState) acquire(t, latency float64, cap int) float64 {
 	return issue
 }
 
-// warpState is one resident warp in the event engine.
+// warpState is one resident warp's execution state. The instruction stream
+// is stored inline (kernelgen.Stream is a value type) so activating a warp
+// reinitializes a pooled slot instead of allocating.
 type warpState struct {
 	sm     int
-	stream *kernelgen.Stream
-	ready  float64 // cycle at which the warp can issue its next instruction
+	stream kernelgen.Stream
 }
 
-// warpHeap orders warps by readiness.
-type warpHeap []*warpState
-
-func (h warpHeap) Len() int            { return len(h) }
-func (h warpHeap) Less(i, j int) bool  { return h[i].ready < h[j].ready }
-func (h warpHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *warpHeap) Push(x interface{}) { *h = append(*h, x.(*warpState)) }
-func (h *warpHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	w := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return w
+// activate fills free warp slots on sm with pending warps, pushing them
+// onto the scheduling heap ready at cycle `at`. Slot indices are recycled
+// through the free list; recycling order cannot affect results because the
+// heap orders strictly by readiness (with container/heap-equivalent tie
+// handling) and slot contents are fully reinitialized by InitStream.
+func (s *Simulator) activate(spec *kernelgen.Spec, sm int, at float64) {
+	for s.activeBySM[sm] < s.cfg.WarpSlots && s.nextPending[sm] < len(s.pending[sm]) {
+		id := s.pending[sm][s.nextPending[sm]]
+		s.nextPending[sm]++
+		s.activeBySM[sm]++
+		var slot int32
+		if n := len(s.freeSlots); n > 0 {
+			slot = s.freeSlots[n-1]
+			s.freeSlots = s.freeSlots[:n-1]
+		} else {
+			s.warps = append(s.warps, warpState{})
+			slot = int32(len(s.warps) - 1)
+		}
+		s.warps[slot].sm = sm
+		spec.InitStream(&s.warps[slot].stream, id)
+		s.heap = warpHeapPush(s.heap, heapEntry{ready: at, slot: slot})
+	}
 }
 
 // RunKernel simulates one kernel to completion and returns its cycle count
@@ -105,40 +146,33 @@ func (s *Simulator) RunKernel(spec *kernelgen.Spec) KernelResult {
 		s.l2.Flush()
 	}
 
-	l1s := make([]*Cache, cfg.SMs)
-	for i := range l1s {
-		l1s[i] = NewCache(cfg.L1)
+	// Reset the scratch arena. Reset L1s are bit-identical to fresh ones
+	// (see Cache.Reset); everything else is truncated or zeroed.
+	for sm := 0; sm < cfg.SMs; sm++ {
+		s.l1s[sm].Reset()
+		s.pending[sm] = s.pending[sm][:0]
+		s.nextPending[sm] = 0
+		s.activeBySM[sm] = 0
+		s.issueClock[sm] = 0
+		s.mshrs[sm].release = s.mshrs[sm].release[:0]
 	}
 	s.l2.ResetStats()
+	s.heap = s.heap[:0]
+	s.warps = s.warps[:0]
+	s.freeSlots = s.freeSlots[:0]
 
 	// Assign blocks to SMs round-robin; expand to a per-SM pending warp
 	// list in launch order.
-	pending := make([][]int, cfg.SMs) // global warp ids
-	totalWarps := spec.TotalWarps()
 	for b := 0; b < spec.Blocks; b++ {
 		sm := b % cfg.SMs
 		for w := 0; w < spec.WarpsPerBlock; w++ {
-			pending[sm] = append(pending[sm], b*spec.WarpsPerBlock+w)
+			s.pending[sm] = append(s.pending[sm], b*spec.WarpsPerBlock+w)
 		}
 	}
 
-	issueClock := make([]float64, cfg.SMs)
 	issueStep := 1.0 / float64(cfg.IssueWidth)
-	activeBySM := make([]int, cfg.SMs)
-	nextPending := make([]int, cfg.SMs)
-	mshrs := make([]mshrState, cfg.SMs)
-
-	h := make(warpHeap, 0, totalWarps)
-	activate := func(sm int, at float64) {
-		for activeBySM[sm] < cfg.WarpSlots && nextPending[sm] < len(pending[sm]) {
-			id := pending[sm][nextPending[sm]]
-			nextPending[sm]++
-			activeBySM[sm]++
-			heap.Push(&h, &warpState{sm: sm, stream: spec.NewStream(id), ready: at})
-		}
-	}
 	for sm := 0; sm < cfg.SMs; sm++ {
-		activate(sm, 0)
+		s.activate(spec, sm, 0)
 	}
 
 	var (
@@ -149,24 +183,29 @@ func (s *Simulator) RunKernel(spec *kernelgen.Spec) KernelResult {
 		l1Misses uint64
 	)
 
-	for h.Len() > 0 {
-		w := heap.Pop(&h).(*warpState)
+	for len(s.heap) > 0 {
+		var e heapEntry
+		e, s.heap = warpHeapPop(s.heap)
+		w := &s.warps[e.slot]
 		ins, ok := w.stream.Next()
 		if !ok {
-			activeBySM[w.sm]--
-			if w.ready > finish {
-				finish = w.ready
+			sm := w.sm
+			s.activeBySM[sm]--
+			if e.ready > finish {
+				finish = e.ready
 			}
-			activate(w.sm, w.ready)
+			// Release the slot before activating: the next warp reuses it.
+			s.freeSlots = append(s.freeSlots, e.slot)
+			s.activate(spec, sm, e.ready)
 			continue
 		}
 		instrs++
 
-		t := w.ready
-		if issueClock[w.sm] > t {
-			t = issueClock[w.sm]
+		t := e.ready
+		if s.issueClock[w.sm] > t {
+			t = s.issueClock[w.sm]
 		}
-		issueClock[w.sm] = t + issueStep
+		s.issueClock[w.sm] = t + issueStep
 
 		var lat float64
 		switch ins.Kind {
@@ -182,7 +221,7 @@ func (s *Simulator) RunKernel(spec *kernelgen.Spec) KernelResult {
 		case kernelgen.OpSync:
 			lat = float64(cfg.ALULatency)
 		case kernelgen.OpLoad, kernelgen.OpStore:
-			l1 := l1s[w.sm]
+			l1 := s.l1s[w.sm]
 			if l1.Access(ins.Addr) {
 				lat = float64(cfg.L1Latency)
 				l1Hits++
@@ -206,13 +245,12 @@ func (s *Simulator) RunKernel(spec *kernelgen.Spec) KernelResult {
 				}
 				// An L1 miss needs an MSHR; a full MSHR file delays the
 				// miss until the earliest outstanding fill returns.
-				issue := mshrs[w.sm].acquire(t, fill, cfg.MSHRsPerSM)
+				issue := s.mshrs[w.sm].acquire(t, fill, cfg.MSHRsPerSM)
 				lat = (issue - t) + fill
 			}
 		}
 
-		w.ready = t + cfg.DependencyFraction*lat
-		heap.Push(&h, w)
+		s.heap = warpHeapPush(s.heap, heapEntry{ready: t + cfg.DependencyFraction*lat, slot: e.slot})
 	}
 
 	res := KernelResult{
@@ -260,33 +298,52 @@ const DefaultSegmentLen = 16
 // trade (cold caches at chunk starts); the paper's §6.2 ablation bounds the
 // inter-kernel reuse it discards.
 func RunSegmented(cfg Config, specs []*kernelgen.Spec, segLen, workers int) ([]KernelResult, float64, error) {
+	return RunSegmentedFunc(cfg, len(specs), func(i int) kernelgen.Spec {
+		return *specs[i]
+	}, segLen, workers)
+}
+
+// RunSegmentedFunc is RunSegmented over a spec generator instead of a
+// materialized spec slice: workers call specAt(i) for each invocation index
+// inside their own segment, so the full []*kernelgen.Spec is never built up
+// front. For large FullSim workloads this keeps the spec working set to one
+// spec per worker. specAt must be safe for concurrent calls with distinct
+// indices and must return the same value for the same index (a pure
+// function of i, like kernelgen.FromInvocation); results are then
+// bit-identical for every workers value.
+func RunSegmentedFunc(cfg Config, n int, specAt func(i int) kernelgen.Spec, segLen, workers int) ([]KernelResult, float64, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, 0, err
 	}
 	if segLen <= 0 {
 		segLen = DefaultSegmentLen
 	}
-	nseg := (len(specs) + segLen - 1) / segLen
-	segments, err := parallel.Map(nseg, parallel.Workers(workers), func(s int) ([]KernelResult, error) {
+	nseg := (n + segLen - 1) / segLen
+	segments, err := parallel.Map(nseg, parallel.Workers(workers), func(sg int) ([]KernelResult, error) {
 		sim, err := New(cfg)
 		if err != nil {
 			return nil, err
 		}
-		lo := s * segLen
+		lo := sg * segLen
 		hi := lo + segLen
-		if hi > len(specs) {
-			hi = len(specs)
+		if hi > n {
+			hi = n
 		}
 		out := make([]KernelResult, hi-lo)
-		for i, sp := range specs[lo:hi] {
-			out[i] = sim.RunKernel(sp)
+		// One spec scratch per worker segment: RunKernel reads the spec
+		// only during the call (streams are reinitialized per kernel), so
+		// reusing the variable is safe.
+		var spec kernelgen.Spec
+		for i := lo; i < hi; i++ {
+			spec = specAt(i)
+			out[i-lo] = sim.RunKernel(&spec)
 		}
 		return out, nil
 	})
 	if err != nil {
 		return nil, 0, err
 	}
-	results := make([]KernelResult, 0, len(specs))
+	results := make([]KernelResult, 0, n)
 	var total float64
 	for _, seg := range segments {
 		for _, r := range seg {

@@ -13,9 +13,9 @@
 // uniform) that the DSE experiments measure.
 //
 // Spec generation is a pure function of the invocation and limits, and a
-// Spec is read-only once built (NewStream returns a fresh per-warp stream;
-// it never mutates the Spec), so specs may be built and executed
-// concurrently from many goroutines.
+// Spec is read-only once built (NewStream and InitStream produce fresh
+// per-warp stream state; neither mutates the Spec), so specs may be built
+// and executed concurrently from many goroutines.
 package kernelgen
 
 import (
@@ -187,30 +187,67 @@ func (s *Spec) TotalWarps() int { return s.Blocks * s.WarpsPerBlock }
 // Stream generates warp w's instruction stream deterministically. Streams
 // of the same invocation differ across warps (different address phases) but
 // share the kernel's statistical profile.
+//
+// Stream is a value type: the generator state (including its RNG) is stored
+// inline so the simulator can embed streams in pooled per-warp slots and
+// reinitialize them with InitStream without any heap allocation. The
+// cumulative op-mix thresholds are precomputed at initialization so Next
+// classifies an instruction with single comparisons instead of re-summing
+// the mix fractions on every call; the cumulative sums are built
+// left-to-right exactly as the previous per-call sums were, so the
+// classification boundaries are bit-identical.
 type Stream struct {
 	spec      *Spec
-	r         *rng.Rand
+	r         rng.Rand
 	remaining int
 	// reuse window of recently touched lines for locality modelling
 	window    [16]uint64
 	windowLen int
 	cursor    uint64 // strided-access position
+
+	// Precomputed per-stream constants.
+	footprint uint64 // clamped footprint
+	wsize     uint64 // clamped weights-region size
+	// Cumulative instruction-mix thresholds: a uniform draw x selects
+	// Load if x < cLoad, Store if x < cStore, and so on; OpALU is the
+	// remainder.
+	cLoad, cStore, cFP32, cFP16, cSFU, cBranch float64
 }
 
-// NewStream returns warp w's stream.
-func (s *Spec) NewStream(w int) *Stream {
+// InitStream initializes st as warp w's stream in place, overwriting any
+// previous state. A reinitialized stream is indistinguishable from a fresh
+// one: every field consulted by Next is reset (stale window contents are
+// unreachable once windowLen is 0).
+func (s *Spec) InitStream(st *Stream, w int) {
 	footprint := uint64(s.FootprintBytes)
 	if footprint < 128 {
 		footprint = 128
 	}
-	st := &Stream{
-		spec:      s,
-		r:         rng.New(rng.Derive(s.Seed, uint64(w))),
-		remaining: s.InstrsPerWarp,
+	wsize := footprint / 4
+	if wsize < 128 {
+		wsize = 128
 	}
+	st.spec = s
+	st.r = rng.Seeded(rng.Derive(s.Seed, uint64(w)))
+	st.remaining = s.InstrsPerWarp
+	st.windowLen = 0
+	st.footprint = footprint
+	st.wsize = wsize
+	st.cLoad = s.LoadFrac
+	st.cStore = st.cLoad + s.StoreFrac
+	st.cFP32 = st.cStore + s.FP32Frac
+	st.cFP16 = st.cFP32 + s.FP16Frac
+	st.cSFU = st.cFP16 + s.SFUFrac
+	st.cBranch = st.cSFU + s.BranchFrac
 	// Each warp starts at its own phase of the footprint so warps stream
 	// different lines, as coalesced GPU code does.
 	st.cursor = s.BaseAddr + uint64(w)*4096%footprint
+}
+
+// NewStream returns warp w's stream.
+func (s *Spec) NewStream(w int) *Stream {
+	st := new(Stream)
+	s.InitStream(st, w)
 	return st
 }
 
@@ -220,20 +257,19 @@ func (st *Stream) Next() (ins Instr, ok bool) {
 		return Instr{}, false
 	}
 	st.remaining--
-	s := st.spec
 	x := st.r.Float64()
 	switch {
-	case x < s.LoadFrac:
+	case x < st.cLoad:
 		return Instr{Kind: OpLoad, Addr: st.nextAddr()}, true
-	case x < s.LoadFrac+s.StoreFrac:
+	case x < st.cStore:
 		return Instr{Kind: OpStore, Addr: st.nextAddr()}, true
-	case x < s.LoadFrac+s.StoreFrac+s.FP32Frac:
+	case x < st.cFP32:
 		return Instr{Kind: OpFP32}, true
-	case x < s.LoadFrac+s.StoreFrac+s.FP32Frac+s.FP16Frac:
+	case x < st.cFP16:
 		return Instr{Kind: OpFP16}, true
-	case x < s.LoadFrac+s.StoreFrac+s.FP32Frac+s.FP16Frac+s.SFUFrac:
+	case x < st.cSFU:
 		return Instr{Kind: OpSFU}, true
-	case x < s.LoadFrac+s.StoreFrac+s.FP32Frac+s.FP16Frac+s.SFUFrac+s.BranchFrac:
+	case x < st.cBranch:
 		return Instr{Kind: OpBranch}, true
 	default:
 		return Instr{Kind: OpALU}, true
@@ -242,10 +278,7 @@ func (st *Stream) Next() (ins Instr, ok bool) {
 
 func (st *Stream) nextAddr() uint64 {
 	s := st.spec
-	footprint := uint64(s.FootprintBytes)
-	if footprint < 128 {
-		footprint = 128
-	}
+	footprint := st.footprint
 	// Temporal reuse: revisit a recently touched line.
 	if st.windowLen > 0 && st.r.Float64() < s.Locality {
 		return st.window[st.r.Intn(st.windowLen)]
@@ -254,11 +287,7 @@ func (st *Stream) nextAddr() uint64 {
 	if s.WeightsFrac > 0 && st.r.Float64() < s.WeightsFrac {
 		// Weights: shared across invocations of the kernel, a quarter of
 		// the footprint, strided per warp.
-		wsize := footprint / 4
-		if wsize < 128 {
-			wsize = 128
-		}
-		addr = s.WeightsAddr + st.r.Uint64()%wsize
+		addr = s.WeightsAddr + st.r.Uint64()%st.wsize
 		addr &^= 0x7f
 		return st.remember(addr)
 	}

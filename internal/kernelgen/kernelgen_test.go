@@ -92,6 +92,53 @@ func TestStreamsDifferAcrossWarps(t *testing.T) {
 	}
 }
 
+func TestInitStreamReusedMatchesFresh(t *testing.T) {
+	// A slot reinitialized by InitStream — even one left mid-stream with a
+	// populated reuse window — must replay exactly like a fresh stream.
+	// This is what lets the simulator recycle warp slots across kernels.
+	inv := testInv()
+	spec := FromInvocation(&inv, DefaultLimits())
+	var reused Stream
+	spec.InitStream(&reused, 3)
+	for i := 0; i < spec.InstrsPerWarp/2; i++ { // dirty window, cursor, rng
+		reused.Next()
+	}
+	other := testInv()
+	other.Seq = 9
+	other.Latent.MemIntensity = 0.9
+	spec2 := FromInvocation(&other, DefaultLimits())
+	spec2.InitStream(&reused, 5)
+	fresh := spec2.NewStream(5)
+	for {
+		ia, oka := reused.Next()
+		ib, okb := fresh.Next()
+		if ia != ib || oka != okb {
+			t.Fatal("reinitialized stream diverged from fresh stream")
+		}
+		if !oka {
+			return
+		}
+	}
+}
+
+func TestStreamNextAllocationFree(t *testing.T) {
+	inv := testInv()
+	inv.Latent.RandomAccess = 0.5
+	spec := FromInvocation(&inv, DefaultLimits())
+	var st Stream
+	n := 0
+	avg := testing.AllocsPerRun(100, func() {
+		if n%spec.InstrsPerWarp == 0 {
+			spec.InitStream(&st, n) // refill in place, no allocation either
+		}
+		n++
+		st.Next()
+	})
+	if avg != 0 {
+		t.Fatalf("Stream.Next allocates %.2f objects per call, want 0", avg)
+	}
+}
+
 func TestInstructionMixTracksLatent(t *testing.T) {
 	mem := testInv()
 	mem.Latent.MemIntensity = 0.9

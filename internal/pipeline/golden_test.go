@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"stemroot/internal/gpu"
+	"stemroot/internal/kernelgen"
+	"stemroot/internal/workloads"
+)
+
+// cyclesHash folds the exact float64 bit patterns of a cycle sequence into
+// an FNV-1a hash, so one mismatched bit anywhere in a workload's
+// per-invocation cycles fails the comparison.
+func cyclesHash(cycles []float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, c := range cycles {
+		u := math.Float64bits(c)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// TestFullSimGolden pins the full-simulation ground truth bit-for-bit
+// against values recorded from the pre-arena engine at commit 50e8528, on
+// fixed-seed Rodinia (DSE-reduced, seed 1) and CASIO bert_infer (seed 3)
+// workloads. The hash covers every invocation's cycle count; first-cycle
+// values localize a failure to "wrong from the start" vs "diverged later".
+// This is the acceptance gate for the allocation-free engine: scratch
+// reuse, the specialized heap, value streams, and the cache index fast
+// path must all be invisible here.
+func TestFullSimGolden(t *testing.T) {
+	type golden struct {
+		name  string
+		n     int
+		hash  uint64
+		first float64
+	}
+	rodinia := []golden{
+		{"backprop", 40, 0x35bb8da9df254fd8, 1965.987974999998},
+		{"bfs", 24, 0xcceeb472684d5594, 4850.1014340437505},
+		{"btree", 40, 0x0ab8119f38c8ef11, 12624.446357846202},
+		{"gaussian", 40, 0x1fc6afc92519a818, 3591.7906899999934},
+		{"heartwall", 35, 0x706d214c80c7cc54, 1648.2049375},
+		{"hotspot", 40, 0xbb312ec5c4d1bdca, 3284.443531424998},
+		{"kmeans", 26, 0x35a120ce26bbe486, 5940.268306732533},
+		{"lavamd", 5, 0x539c946f4c6581d0, 20939.28049133617},
+		{"lud", 39, 0x7487bc2e69d075e3, 5401.800000000009},
+		{"nw", 37, 0xb3e78ab6b1b4cf39, 1047.741575},
+		{"pf_float", 34, 0x6206730a1d263a8c, 1155.1960000000001},
+	}
+	cfg := gpu.Baseline()
+	lim := kernelgen.DSELimits()
+	ws := workloads.DSERodinia(1, 40)
+	if len(ws) != len(rodinia) {
+		t.Fatalf("DSERodinia returned %d workloads, golden has %d", len(ws), len(rodinia))
+	}
+	for i, w := range ws {
+		g := rodinia[i]
+		if w.Name != g.name {
+			t.Fatalf("workload %d is %q, golden expects %q", i, w.Name, g.name)
+		}
+		cycles, err := FullSimOpt(w, cfg, lim, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cycles) != g.n {
+			t.Errorf("%s: %d invocations, want %d", g.name, len(cycles), g.n)
+			continue
+		}
+		if cycles[0] != g.first {
+			t.Errorf("%s: first cycles %v, want %v", g.name, cycles[0], g.first)
+		}
+		if h := cyclesHash(cycles); h != g.hash {
+			t.Errorf("%s: cycle hash %#016x, want %#016x", g.name, h, g.hash)
+		}
+	}
+
+	// CASIO path: different generator family and DefaultLimits scale.
+	cas := workloads.CASIO(3, 0.05)
+	w := workloads.ReduceForSim(cas[0], 30, 64)
+	g := golden{"bert_infer", 30, 0xeb87df33bc223b06, 1084.3000000000004}
+	if w.Name != g.name {
+		t.Fatalf("CASIO workload is %q, golden expects %q", w.Name, g.name)
+	}
+	cycles, err := FullSimOpt(w, gpu.Baseline(), kernelgen.DefaultLimits(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cycles) != g.n || cycles[0] != g.first || cyclesHash(cycles) != g.hash {
+		t.Errorf("%s: n=%d first=%v hash=%#016x, want n=%d first=%v hash=%#016x",
+			g.name, len(cycles), cycles[0], cyclesHash(cycles), g.n, g.first, g.hash)
+	}
+}

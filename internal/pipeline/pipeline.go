@@ -43,14 +43,18 @@ type Options struct {
 	SegmentLen int
 }
 
-// specsOf builds the per-invocation kernel specs for a workload subset.
-func specsOf(w *trace.Workload, lim kernelgen.Limits, indices []int) []*kernelgen.Spec {
-	specs := make([]*kernelgen.Spec, len(indices))
-	for i, ix := range indices {
-		spec := kernelgen.FromInvocation(&w.Invs[ix], lim)
-		specs[i] = &spec
+// specsOf returns a spec generator for a workload subset: position i maps
+// to invocation indices[i]. The generator is handed to gpu.RunSegmentedFunc
+// so each worker builds only its own segment's specs on demand instead of
+// materializing the full []*kernelgen.Spec up front — for FullSim on large
+// workloads the spec working set drops from O(invocations) to one spec per
+// worker. FromInvocation is a pure function of the invocation and limits,
+// so concurrent calls are safe and results stay bit-identical for every
+// worker count.
+func specsOf(w *trace.Workload, lim kernelgen.Limits, indices []int) func(i int) kernelgen.Spec {
+	return func(i int) kernelgen.Spec {
+		return kernelgen.FromInvocation(&w.Invs[indices[i]], lim)
 	}
-	return specs
 }
 
 // FullSim simulates every invocation of the workload, returning
@@ -68,7 +72,7 @@ func FullSimOpt(w *trace.Workload, cfg gpu.Config, lim kernelgen.Limits, opt Opt
 	for i := range indices {
 		indices[i] = i
 	}
-	results, _, err := gpu.RunSegmented(cfg, specsOf(w, lim, indices), opt.SegmentLen, opt.Workers)
+	results, _, err := gpu.RunSegmentedFunc(cfg, len(indices), specsOf(w, lim, indices), opt.SegmentLen, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +99,7 @@ func SampledSimOpt(w *trace.Workload, cfg gpu.Config, lim kernelgen.Limits, indi
 			return nil, errors.New("pipeline: sample index out of range")
 		}
 	}
-	results, _, err := gpu.RunSegmented(cfg, specsOf(w, lim, indices), opt.SegmentLen, opt.Workers)
+	results, _, err := gpu.RunSegmentedFunc(cfg, len(indices), specsOf(w, lim, indices), opt.SegmentLen, opt.Workers)
 	if err != nil {
 		return nil, err
 	}

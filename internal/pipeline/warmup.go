@@ -32,6 +32,9 @@ func SampledSimWarm(w *trace.Workload, cfg gpu.Config, lim kernelgen.Limits,
 
 	out := make(map[int]float64, len(sorted))
 	prevEnd := -1 // last workload position already simulated
+	// One spec scratch for the whole replay: RunKernel reads the spec only
+	// during the call, so reusing the variable keeps the loop allocation-free.
+	var spec kernelgen.Spec
 	for _, ix := range sorted {
 		if ix < 0 || ix >= w.Len() {
 			return nil, 0, errors.New("pipeline: sample index out of range")
@@ -41,10 +44,10 @@ func SampledSimWarm(w *trace.Workload, cfg gpu.Config, lim kernelgen.Limits,
 			start = prevEnd + 1
 		}
 		for j := start; j < ix; j++ {
-			spec := kernelgen.FromInvocation(&w.Invs[j], lim)
+			spec = kernelgen.FromInvocation(&w.Invs[j], lim)
 			warmupCycles += sim.RunKernel(&spec).Cycles
 		}
-		spec := kernelgen.FromInvocation(&w.Invs[ix], lim)
+		spec = kernelgen.FromInvocation(&w.Invs[ix], lim)
 		out[ix] = sim.RunKernel(&spec).Cycles
 		prevEnd = ix
 	}

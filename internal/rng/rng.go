@@ -73,7 +73,17 @@ type Rand struct {
 // New returns a generator seeded from seed. Distinct seeds yield
 // uncorrelated streams.
 func New(seed uint64) *Rand {
-	r := &Rand{inc: (seed << 1) | 1}
+	r := Seeded(seed)
+	return &r
+}
+
+// Seeded is New as a value constructor: it returns the generator inline so
+// hot paths can embed a Rand directly in a larger struct (the simulator's
+// per-warp instruction streams) instead of holding a pointer to a separate
+// heap object. The returned value produces the exact same sequence as
+// New(seed).
+func Seeded(seed uint64) Rand {
+	r := Rand{inc: (seed << 1) | 1}
 	r.state = Derive(seed, 0x5851f42d4c957f2d)
 	r.next32()
 	return r

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# bench.sh — run the simulator-core benchmarks and record the results.
+#
+# Runs the engine benchmarks (BenchmarkFullSim across worker counts,
+# BenchmarkRunKernel) with -benchmem and emits two artifacts:
+#
+#   BENCH_PR2.txt   raw `go test -bench` output (benchstat-compatible:
+#                   feed two of these to `benchstat old.txt new.txt`)
+#   BENCH_PR2.json  parsed per-benchmark numbers plus the frozen PR 1
+#                   baseline, so the perf trajectory is diffable in-repo
+#
+# Usage: scripts/bench.sh [benchtime] [out.json]
+#   benchtime  go -benchtime value (default 3x; CI smoke uses 1x)
+#   out.json   output path (default BENCH_PR2.json next to the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-3x}"
+OUT="${2:-BENCH_PR2.json}"
+RAW="${OUT%.json}.txt"
+
+run_bench() {
+  go test -run '^$' -bench "$1" -benchmem -benchtime "$BENCHTIME" -count 1 "$2"
+}
+
+{
+  run_bench 'BenchmarkFullSim' ./internal/pipeline/
+  run_bench 'BenchmarkRunKernel' ./internal/gpu/
+} | tee "$RAW"
+
+# Parse "BenchmarkName-N  iters  T ns/op  B B/op  A allocs/op" rows into
+# JSON. The PR 1 baseline block is the pre-arena engine measured on the
+# same machine class (Xeon 2.10GHz) right before this refactor landed; the
+# acceptance bar is FullSim/j1 ns_per_op <= baseline/1.5 and RunKernel
+# allocs_per_op <= 2.
+awk -v benchtime="$BENCHTIME" '
+  /^Benchmark/ && /ns\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op")     ns = $(i-1)
+      if ($i == "B/op")      bytes = $(i-1)
+      if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+      name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+  }
+  END {
+    if (n == 0) { print "bench.sh: no benchmark rows parsed" > "/dev/stderr"; exit 1 }
+  }
+' "$RAW" > /tmp/bench_rows.$$ || { rm -f /tmp/bench_rows.$$; exit 1; }
+
+cat > "$OUT" <<EOF
+{
+  "pr": 2,
+  "benchtime": "$BENCHTIME",
+  "goos": "$(go env GOOS)",
+  "goarch": "$(go env GOARCH)",
+  "baseline_pr1": [
+    {"name": "FullSim/j1", "ns_per_op": 847070212, "bytes_per_op": 36148534, "allocs_per_op": 216177},
+    {"name": "RunKernel", "ns_per_op": 21086218, "bytes_per_op": 183448, "allocs_per_op": 616}
+  ],
+  "benchmarks": [
+$(cat /tmp/bench_rows.$$)
+  ]
+}
+EOF
+rm -f /tmp/bench_rows.$$
+
+echo "wrote $RAW and $OUT"
