@@ -4,6 +4,12 @@
 //
 //	experiments -run table3            # any of the ids below
 //	experiments -run all -scale paper  # full evaluation at paper scale
+//	experiments -run fig11 -cachedir /tmp/segcache  # reuse segments across runs
+//
+// Simulator-bound experiments share a content-addressed segment-result
+// cache (internal/simcache): identical ground-truth segments are simulated
+// once per process, and with -cachedir once ever. Output is bit-identical
+// with and without the cache; -nocache disables it.
 //
 // Experiment ids: table2, fig1, fig7, fig8, fig9, fig10, fig11, fig12,
 // fig13, fig14, table3, table4, table5, flush, kkt, rootk, root, warmup,
@@ -21,6 +27,7 @@ import (
 	"strings"
 
 	"stemroot/internal/experiments"
+	"stemroot/internal/simcache"
 	"stemroot/internal/workloads"
 )
 
@@ -33,6 +40,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed")
 	reps := flag.Int("reps", 0, "override repetitions (0 = scale default)")
 	jobs := flag.Int("j", 0, "worker count (0 = one per CPU, 1 = serial; results are identical)")
+	cacheDir := flag.String("cachedir", "", "persist segment results on disk in this directory (reused across runs)")
+	cacheMB := flag.Int("cachemb", 0, "in-memory segment cache bound in MiB (0 = default 256)")
+	noCache := flag.Bool("nocache", false, "disable the segment-result cache entirely")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
 	flag.Parse()
@@ -65,6 +75,21 @@ func main() {
 	cfg.Parallelism = *jobs
 	if *reps > 0 {
 		cfg.Reps = *reps
+	}
+	// The segment cache is on by default: results are bit-identical with and
+	// without it (pinned by the determinism tests), so there is no accuracy
+	// trade-off, only avoided re-simulation. Stats go to stderr so stdout
+	// stays byte-comparable across cached and uncached runs.
+	if !*noCache {
+		cache, err := simcache.New(simcache.Options{
+			MaxBytes: int64(*cacheMB) << 20,
+			Dir:      *cacheDir,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Cache = cache
+		defer func() { log.Printf("segment cache: %s", cache.Stats()) }()
 	}
 	if err := runExperiments(cfg, *run, os.Stdout); err != nil {
 		log.Fatal(err)

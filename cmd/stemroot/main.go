@@ -7,6 +7,11 @@
 //
 //	stemroot -profile traces/bert_infer.rtx2080.csv -epsilon 0.05
 //	stemroot -profile huge.csv -stream -o plan.json
+//	stemroot -profile trace.csv -simulate -cachedir ~/.cache/stemroot
+//
+// With -simulate, the plan is additionally validated on the cycle-level
+// simulator against a workload reconstructed from the profile; -cachedir
+// persists segment results so repeat validations skip the full simulation.
 package main
 
 import (
@@ -16,12 +21,21 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 
 	"stemroot"
+	"stemroot/internal/core"
+	"stemroot/internal/gpu"
+	"stemroot/internal/hwmodel"
+	"stemroot/internal/kernelgen"
+	"stemroot/internal/pipeline"
+	"stemroot/internal/sampling"
+	"stemroot/internal/simcache"
 	"stemroot/internal/trace"
+	"stemroot/internal/workloads"
 )
 
 // cliConfig carries the parsed flags.
@@ -36,6 +50,11 @@ type cliConfig struct {
 	jobs        int
 	planOut     string
 	verbose     bool
+	simulate    bool
+	simCalls    int
+	cacheDir    string
+	cacheMB     int
+	noCache     bool
 }
 
 func main() {
@@ -53,6 +72,11 @@ func main() {
 	flag.IntVar(&cfg.jobs, "j", 0, "worker count (0 = one per CPU, 1 = serial; output is identical)")
 	flag.StringVar(&cfg.planOut, "o", "", "write the sampling plan as JSON to this path")
 	flag.BoolVar(&cfg.verbose, "v", false, "print every cluster")
+	flag.BoolVar(&cfg.simulate, "simulate", false, "validate the plan on the cycle-level simulator (synthetic workload reconstructed from the profile)")
+	flag.IntVar(&cfg.simCalls, "simcalls", 256, "cap on simulated invocations in -simulate mode")
+	flag.StringVar(&cfg.cacheDir, "cachedir", "", "persist -simulate segment results on disk in this directory (reused across runs)")
+	flag.IntVar(&cfg.cacheMB, "cachemb", 0, "in-memory segment cache bound in MiB (0 = default 256)")
+	flag.BoolVar(&cfg.noCache, "nocache", false, "disable the segment-result cache in -simulate mode")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
 	flag.Parse()
@@ -107,6 +131,7 @@ func run(cfg cliConfig, out io.Writer) error {
 
 	var (
 		plan  *stemroot.Plan
+		names []string
 		times []float64
 	)
 	if cfg.stream {
@@ -128,7 +153,6 @@ func run(cfg cliConfig, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		var names []string
 		names, times, err = trace.ReadProfileCSV(f)
 		f.Close()
 		if err != nil {
@@ -174,6 +198,15 @@ func run(cfg cliConfig, out io.Writer) error {
 		fmt.Fprintf(out, "expected speedup: %.1fx\n", total/sampledTime)
 	}
 
+	if cfg.simulate {
+		if cfg.stream {
+			return errors.New("-simulate needs the in-memory path; drop -stream")
+		}
+		if err := simulateProfile(cfg, names, times, out); err != nil {
+			return err
+		}
+	}
+
 	if cfg.verbose {
 		sort.Slice(plan.Clusters, func(i, j int) bool {
 			return totalTime(plan.Clusters[i]) > totalTime(plan.Clusters[j])
@@ -183,6 +216,63 @@ func run(cfg cliConfig, out io.Writer) error {
 			fmt.Fprintf(out, "  %-32s members=%-7d samples=%-5d mean=%10.2fus cov=%.3f\n",
 				c.Kernel, len(c.Members), len(c.Samples), c.Mean, cov(c))
 		}
+	}
+	return nil
+}
+
+// simulateProfile validates the sampling approach on the cycle-level
+// simulator: it reconstructs a simulatable workload from the profile
+// (workloads.FromProfile — deterministic in the profile and seed), computes
+// ground truth with a full simulation, replans with STEM+ROOT, and scores
+// the plan's estimate against the truth. The segment cache makes repeat
+// validations cheap: with -cachedir, a second run of the same profile serves
+// its full simulation from disk instead of re-simulating.
+func simulateProfile(cfg cliConfig, names []string, times []float64, out io.Writer) error {
+	w := workloads.ReduceForSim(
+		workloads.FromProfile(filepath.Base(cfg.profilePath), names, times, cfg.seed),
+		cfg.simCalls, 64)
+
+	opts := pipeline.Options{Workers: cfg.jobs}
+	var sc *simcache.Cache
+	if !cfg.noCache {
+		var err error
+		sc, err = simcache.New(simcache.Options{
+			MaxBytes: int64(cfg.cacheMB) << 20,
+			Dir:      cfg.cacheDir,
+		})
+		if err != nil {
+			return err
+		}
+		opts.Cache = sc
+	}
+
+	gcfg := gpu.Baseline()
+	lim := kernelgen.DSELimits()
+	full, err := pipeline.FullSimOpt(w, gcfg, lim, opts)
+	if err != nil {
+		return err
+	}
+	p := core.DefaultParams()
+	p.Epsilon = cfg.epsilon
+	p.Confidence = cfg.confidence
+	p.Seed = cfg.seed
+	p.SmallSampleT = cfg.tdist
+	p.Workers = cfg.jobs
+	stem := &sampling.STEMRoot{Params: p}
+	r, err := pipeline.RunOpt(w, hwmodel.RTX2080, stem, gcfg, lim, full, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "\nsimulator validation (reconstructed workload, %d invocations):\n", w.Len())
+	fmt.Fprintf(out, "  full cycles:      %.4e\n", r.FullCycles)
+	fmt.Fprintf(out, "  estimated cycles: %.4e\n", r.EstimateCycles)
+	fmt.Fprintf(out, "  measured error:   %.3f%% (bound %.2f)\n", r.Outcome.ErrorPct, cfg.epsilon)
+	fmt.Fprintf(out, "  sim speedup:      %.1fx\n", r.Outcome.Speedup)
+	if sc != nil {
+		// Stats go to stderr so stdout stays byte-comparable across cached
+		// and uncached runs.
+		log.Printf("segment cache: %s", sc.Stats())
 	}
 	return nil
 }

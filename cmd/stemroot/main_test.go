@@ -126,3 +126,46 @@ func TestRunTDistFlag(t *testing.T) {
 		t.Fatal("missing summary")
 	}
 }
+
+func TestRunSimulate(t *testing.T) {
+	profile := writeProfile(t, 600)
+	cacheDir := filepath.Join(t.TempDir(), "segcache")
+	cfg := baseCfg(profile)
+	cfg.simulate = true
+	cfg.simCalls = 48
+	cfg.cacheDir = cacheDir
+	cfg.jobs = 1
+
+	var first, second strings.Builder
+	if err := run(cfg, &first); err != nil {
+		t.Fatal(err)
+	}
+	out := first.String()
+	for _, want := range []string{"simulator validation", "full cycles", "measured error", "sim speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// A second run reuses the disk-cached segments and must print the exact
+	// same report (cache substitution is bit-identical).
+	if err := run(cfg, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("warm run output differs:\n--- cold ---\n%s--- warm ---\n%s", first.String(), second.String())
+	}
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*", "*"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no disk cache entries written (%v)", err)
+	}
+}
+
+func TestRunSimulateRejectsStream(t *testing.T) {
+	cfg := baseCfg(writeProfile(t, 300))
+	cfg.simulate = true
+	cfg.stream = true
+	var buf strings.Builder
+	if err := run(cfg, &buf); err == nil {
+		t.Fatal("expected -simulate/-stream conflict error")
+	}
+}

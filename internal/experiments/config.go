@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"stemroot/internal/core"
+	"stemroot/internal/gpu"
 	"stemroot/internal/pipeline"
 	"stemroot/internal/sampling"
 )
@@ -49,11 +50,24 @@ type Config struct {
 	// simulation pipeline: 0 means one worker per CPU, 1 forces the serial
 	// path. Results are identical for every value (see package doc).
 	Parallelism int
+	// Cache is an optional shared segment-result cache (internal/simcache)
+	// threaded into every simulator-bound runner, so fig11, table4, flush,
+	// and warmup reuse each other's ground-truth segments across sweep
+	// points, repetitions, and variants instead of re-simulating them.
+	// Results are bit-identical with and without it. nil disables caching.
+	Cache gpu.SegmentCache
 }
 
 // pipelineOpts builds the simulation pipeline options from the config.
 func (c Config) pipelineOpts() pipeline.Options {
-	return pipeline.Options{Workers: c.Parallelism}
+	return pipeline.Options{Workers: c.Parallelism, Cache: c.Cache}
+}
+
+// serialSimOpts builds pipeline options for runners that parallelize at the
+// workload level and therefore keep each workload's simulation serial. The
+// shared cache still applies.
+func (c Config) serialSimOpts() pipeline.Options {
+	return pipeline.Options{Workers: 1, Cache: c.Cache}
 }
 
 // Quick returns a configuration sized for unit tests (seconds, not hours).

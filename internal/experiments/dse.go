@@ -91,14 +91,14 @@ func Table4(cfg Config) (*Table4Result, error) {
 			func(wi int) (wsResult, error) {
 				w := ws[wi]
 				part := wsResult{errSums: make(map[string]float64), counts: make(map[string]int)}
-				full, err := pipeline.FullSimOpt(w, cfgGPU, lim, pipeline.Options{Workers: 1})
+				full, err := pipeline.FullSimOpt(w, cfgGPU, lim, cfg.serialSimOpts())
 				if err != nil {
 					return part, err
 				}
 				for rep := 0; rep < cfg.Reps; rep++ {
 					for _, m := range cfg.dseMethods(rep) {
 						r, err := pipeline.RunOpt(w, hwmodel.RTX2080, m, cfgGPU, lim, full,
-							pipeline.Options{Workers: 1})
+							cfg.serialSimOpts())
 						if err != nil {
 							return part, fmt.Errorf("table4 %s/%s/%s: %w", variant, w.Name, m.Name(), err)
 						}

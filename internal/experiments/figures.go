@@ -4,7 +4,11 @@ import (
 	"fmt"
 	"strings"
 
+	"stemroot/internal/gpu"
 	"stemroot/internal/hwmodel"
+	"stemroot/internal/kernelgen"
+	"stemroot/internal/parallel"
+	"stemroot/internal/pipeline"
 	"stemroot/internal/sampling"
 	"stemroot/internal/stats"
 	"stemroot/internal/trace"
@@ -149,29 +153,73 @@ type Figure11Point struct {
 	ErrorPct float64
 }
 
-// Figure11 sweeps STEM's error bound ε over the CASIO suite (paper values:
-// 3%, 5%, 10%, 25%).
+// Figure11Epsilons are the paper's sweep points (3%, 5%, 10%, 25%).
+var Figure11Epsilons = []float64{0.03, 0.05, 0.10, 0.25}
+
+// fig11MaxCalls caps the per-workload invocation count of the sweep's
+// reduced CASIO workloads. The sweep needs more invocations per workload
+// than Table 4's DSE so the per-ε sample-size differences stay visible in
+// the speedup axis.
+func fig11MaxCalls(cfg Config) int { return 3 * cfg.DSEMaxCalls }
+
+// Figure11 sweeps STEM's error bound ε over the (simulation-reduced) CASIO
+// suite. The sweep is simulator-grounded: ground truth is a full cycle-level
+// simulation of every workload, and each plan is scored by actually
+// simulating its sampled invocations (pipeline.RunOpt) — the cost whose
+// avoidance the figure's speedup axis reports.
+//
+// The ground-truth FullSim depends only on (engine, GPU config, workload) —
+// it is invariant across sweep points and repetitions — so it is computed
+// once per workload here, outside the ε loop, and shared by every (ε, rep)
+// evaluation. A segment cache (Config.Cache) additionally carries those
+// segments across processes; correctness never depends on it.
+//
+// Workloads fan out over cfg.Parallelism workers; per-workload outcomes are
+// folded in (ε, workload, rep) order, so the result is identical for every
+// worker count.
 func Figure11(cfg Config) ([]Figure11Point, error) {
-	ws := workloads.CASIO(cfg.Seed, cfg.CASIOScale)
+	lim := kernelgen.DSELimits()
+	gcfg := gpu.Baseline()
+	var ws []*trace.Workload
+	for _, w := range workloads.CASIO(cfg.Seed, cfg.CASIOScale) {
+		ws = append(ws, workloads.ReduceForSim(w, fig11MaxCalls(cfg), 64))
+	}
+
+	// Hoisted loop-invariant ground truth: one FullSim per workload, reused
+	// at every sweep point and repetition.
+	truths, err := parallel.Map(len(ws), parallel.Workers(cfg.Parallelism),
+		func(i int) ([]float64, error) {
+			return pipeline.FullSimOpt(ws[i], gcfg, lim, cfg.serialSimOpts())
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	var out []Figure11Point
-	for _, eps := range []float64{0.03, 0.05, 0.10, 0.25} {
+	for _, eps := range Figure11Epsilons {
+		perWorkload, err := parallel.Map(len(ws), parallel.Workers(cfg.Parallelism),
+			func(i int) ([]sampling.Outcome, error) {
+				w := ws[i]
+				var outs []sampling.Outcome
+				for rep := 0; rep < cfg.Reps; rep++ {
+					p := cfg.stemParams(cfg.Seed + uint64(rep)*7919)
+					p.Epsilon = eps
+					stem := &sampling.STEMRoot{Params: p}
+					r, err := pipeline.RunOpt(w, hwmodel.RTX2080, stem, gcfg, lim,
+						truths[i], cfg.serialSimOpts())
+					if err != nil {
+						return nil, err
+					}
+					outs = append(outs, r.Outcome)
+				}
+				return outs, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		var outs []sampling.Outcome
-		for _, w := range ws {
-			prof := hwmodel.New(hwmodel.RTX2080, w.Seed).Profile(w)
-			for rep := 0; rep < cfg.Reps; rep++ {
-				p := cfg.stemParams(cfg.Seed + uint64(rep)*7919)
-				p.Epsilon = eps
-				stem := &sampling.STEMRoot{Params: p}
-				plan, err := stem.Plan(w, prof)
-				if err != nil {
-					return nil, err
-				}
-				o, err := sampling.Evaluate(plan, w, prof)
-				if err != nil {
-					return nil, err
-				}
-				outs = append(outs, o)
-			}
+		for _, group := range perWorkload {
+			outs = append(outs, group...)
 		}
 		out = append(out, Figure11Point{
 			Epsilon:  eps,

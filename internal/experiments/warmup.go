@@ -47,7 +47,7 @@ func WarmupAblation(cfg Config) ([]WarmupPoint, error) {
 			func(wi int) (wsPartial, error) {
 				w := ws[wi]
 				var part wsPartial
-				full, err := pipeline.FullSimOpt(w, gcfg, lim, pipeline.Options{Workers: 1})
+				full, err := pipeline.FullSimOpt(w, gcfg, lim, cfg.serialSimOpts())
 				if err != nil {
 					return part, err
 				}

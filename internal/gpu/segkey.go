@@ -1,0 +1,156 @@
+package gpu
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"stemroot/internal/kernelgen"
+)
+
+// EngineFingerprint names the simulation engine's behaviour version. It is
+// part of every segment cache key, so results produced by a different engine
+// version can never be confused with current ones — they simply hash to keys
+// the current engine will never look up.
+//
+// Discipline: bump this string in the SAME change as any modification that
+// alters simulated results (RunKernel, kernelgen.Stream, rng, cache
+// replacement, heap ordering, ...). The golden tests (TestRunKernelGolden,
+// TestFullSimGolden) pin the engine bit-for-bit against values recorded at
+// commit 50e8528; if they ever need new expected values, this constant needs
+// a new suffix in the same commit. TestSegmentKeyGolden pins the key
+// derivation itself, so either drift is caught.
+const EngineFingerprint = "stemroot-gpu-engine-v2-arena-50e8528"
+
+// SegmentKey is the content address of one replay segment's results: a
+// SHA-256 over the engine fingerprint, the full gpu.Config, and the
+// segment's kernelgen.Spec sequence. The engine is a pure function of
+// exactly those inputs (see RunSegmentedFunc), so equal keys imply
+// bit-identical simulation output; unequal inputs collide only with
+// cryptographic improbability.
+type SegmentKey [32]byte
+
+// String returns the key in hex, usable as a file name.
+func (k SegmentKey) String() string { return hex.EncodeToString(k[:]) }
+
+// SegmentCache is what RunSegmentedCached consults before simulating a
+// segment. GetOrCompute returns the results for key, either cached or by
+// invoking compute (at most once per key across concurrent callers —
+// singleflight) and caching its result. The returned slice is shared across
+// callers and must be treated as read-only.
+//
+// Implementations must be safe for concurrent use; internal/simcache is the
+// canonical one.
+type SegmentCache interface {
+	GetOrCompute(key SegmentKey, compute func() ([]KernelResult, error)) ([]KernelResult, error)
+}
+
+// keyHasher writes the canonical binary encoding of the key inputs into a
+// SHA-256. Every field is written in fixed order with fixed width, strings
+// as a length prefix plus bytes, floats as their IEEE-754 bit patterns, so
+// the encoding is injective and platform-independent.
+type keyHasher struct {
+	dig hash.Hash
+	st  [8]byte
+}
+
+func newKeyHasher() *keyHasher { return &keyHasher{dig: sha256.New()} }
+
+func (kh *keyHasher) u64(v uint64) {
+	binary.LittleEndian.PutUint64(kh.st[:], v)
+	kh.dig.Write(kh.st[:])
+}
+
+func (kh *keyHasher) i64(v int64)   { kh.u64(uint64(v)) }
+func (kh *keyHasher) i(v int)       { kh.u64(uint64(int64(v))) }
+func (kh *keyHasher) f64(v float64) { kh.u64(math.Float64bits(v)) }
+
+func (kh *keyHasher) boolean(v bool) {
+	var b byte
+	if v {
+		b = 1
+	}
+	kh.dig.Write([]byte{b})
+}
+
+func (kh *keyHasher) str(s string) {
+	kh.u64(uint64(len(s)))
+	kh.dig.Write([]byte(s))
+}
+
+func (kh *keyHasher) sum() SegmentKey {
+	var k SegmentKey
+	kh.dig.Sum(k[:0])
+	return k
+}
+
+// writeConfig hashes every Config field. TestSegmentKeyCoversConfig keeps
+// this in sync with the struct: adding a Config field without extending this
+// list fails that test, preventing silently stale cache keys.
+func (kh *keyHasher) writeConfig(c *Config) {
+	kh.str(c.Name)
+	kh.i(c.SMs)
+	kh.i(c.WarpSlots)
+	kh.i(c.IssueWidth)
+	kh.i(c.ALULatency)
+	kh.i(c.FP16Latency)
+	kh.i(c.SFULatency)
+	kh.i(c.L1Latency)
+	kh.i(c.L2Latency)
+	kh.i(c.DRAMLatency)
+	kh.writeCacheConfig(&c.L1)
+	kh.writeCacheConfig(&c.L2)
+	kh.i(c.MSHRsPerSM)
+	kh.f64(c.DRAMBytesPerCycle)
+	kh.f64(c.DependencyFraction)
+	kh.boolean(c.FlushL2BetweenKernels)
+}
+
+func (kh *keyHasher) writeCacheConfig(c *CacheConfig) {
+	kh.i64(c.SizeBytes)
+	kh.i64(c.LineBytes)
+	kh.i(c.Ways)
+}
+
+// writeSpec hashes every kernelgen.Spec field (kept in sync by
+// TestSegmentKeyCoversSpec). Name does not influence simulation, but it is
+// cheap to include and keeps the key injective over the whole struct rather
+// than over an argument about which fields matter.
+func (kh *keyHasher) writeSpec(s *kernelgen.Spec) {
+	kh.str(s.Name)
+	kh.i(s.Blocks)
+	kh.i(s.WarpsPerBlock)
+	kh.i(s.InstrsPerWarp)
+	kh.f64(s.FP32Frac)
+	kh.f64(s.FP16Frac)
+	kh.f64(s.SFUFrac)
+	kh.f64(s.LoadFrac)
+	kh.f64(s.StoreFrac)
+	kh.f64(s.BranchFrac)
+	kh.i64(s.FootprintBytes)
+	kh.f64(s.Locality)
+	kh.f64(s.RandomAccess)
+	kh.u64(s.BaseAddr)
+	kh.u64(s.WeightsAddr)
+	kh.f64(s.WeightsFrac)
+	kh.f64(s.BranchDivergence)
+	kh.u64(s.Seed)
+}
+
+// KeyForSegment derives the content address of a replay segment: the
+// engine fingerprint, the GPU configuration, and the ordered spec sequence
+// the segment simulates. Segment boundaries are part of the content by
+// construction — a different SegmentLen produces different spec sequences
+// per segment and therefore different keys.
+func KeyForSegment(cfg Config, specs []kernelgen.Spec) SegmentKey {
+	kh := newKeyHasher()
+	kh.str(EngineFingerprint)
+	kh.writeConfig(&cfg)
+	kh.u64(uint64(len(specs)))
+	for i := range specs {
+		kh.writeSpec(&specs[i])
+	}
+	return kh.sum()
+}

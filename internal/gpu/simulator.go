@@ -312,33 +312,69 @@ func RunSegmented(cfg Config, specs []*kernelgen.Spec, segLen, workers int) ([]K
 // function of i, like kernelgen.FromInvocation); results are then
 // bit-identical for every workers value.
 func RunSegmentedFunc(cfg Config, n int, specAt func(i int) kernelgen.Spec, segLen, workers int) ([]KernelResult, float64, error) {
+	return RunSegmentedCached(cfg, n, specAt, segLen, workers, nil)
+}
+
+// RunSegmentedCached is RunSegmentedFunc with a content-addressed segment
+// cache consulted before each segment is simulated. Each segment's result is
+// a pure function of (EngineFingerprint, cfg, the segment's spec sequence) —
+// the basis of the SegmentKey — so a cache hit returns results bit-identical
+// to a fresh simulation, for every workers value. cache == nil disables
+// lookup and is exactly RunSegmentedFunc.
+//
+// Cached result slices are shared between callers; results are copied into
+// the returned slice, never mutated in place.
+func RunSegmentedCached(cfg Config, n int, specAt func(i int) kernelgen.Spec, segLen, workers int, cache SegmentCache) ([]KernelResult, float64, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, 0, err
 	}
 	if segLen <= 0 {
 		segLen = DefaultSegmentLen
 	}
-	nseg := (n + segLen - 1) / segLen
-	segments, err := parallel.Map(nseg, parallel.Workers(workers), func(sg int) ([]KernelResult, error) {
+	simulate := func(specs []kernelgen.Spec) ([]KernelResult, error) {
 		sim, err := New(cfg)
 		if err != nil {
 			return nil, err
 		}
+		out := make([]KernelResult, len(specs))
+		for i := range specs {
+			out[i] = sim.RunKernel(&specs[i])
+		}
+		return out, nil
+	}
+	nseg := (n + segLen - 1) / segLen
+	segments, err := parallel.Map(nseg, parallel.Workers(workers), func(sg int) ([]KernelResult, error) {
 		lo := sg * segLen
 		hi := lo + segLen
 		if hi > n {
 			hi = n
 		}
-		out := make([]KernelResult, hi-lo)
-		// One spec scratch per worker segment: RunKernel reads the spec
-		// only during the call (streams are reinitialized per kernel), so
-		// reusing the variable is safe.
-		var spec kernelgen.Spec
-		for i := lo; i < hi; i++ {
-			spec = specAt(i)
-			out[i-lo] = sim.RunKernel(&spec)
+		if cache == nil {
+			// Uncached: one spec scratch per worker segment. RunKernel
+			// reads the spec only during the call (streams are
+			// reinitialized per kernel), so reusing the variable is safe.
+			sim, err := New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]KernelResult, hi-lo)
+			var spec kernelgen.Spec
+			for i := lo; i < hi; i++ {
+				spec = specAt(i)
+				out[i-lo] = sim.RunKernel(&spec)
+			}
+			return out, nil
 		}
-		return out, nil
+		// Cached: materialize this segment's specs (bounded by segLen, so
+		// the working set stays one segment per worker), derive the content
+		// address, and only simulate on miss.
+		specs := make([]kernelgen.Spec, hi-lo)
+		for i := lo; i < hi; i++ {
+			specs[i-lo] = specAt(i)
+		}
+		return cache.GetOrCompute(KeyForSegment(cfg, specs), func() ([]KernelResult, error) {
+			return simulate(specs)
+		})
 	})
 	if err != nil {
 		return nil, 0, err

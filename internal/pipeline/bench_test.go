@@ -7,6 +7,7 @@ import (
 
 	"stemroot/internal/gpu"
 	"stemroot/internal/kernelgen"
+	"stemroot/internal/simcache"
 	"stemroot/internal/workloads"
 )
 
@@ -28,4 +29,45 @@ func BenchmarkFullSim(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFullSimCached measures the segment cache's effect on the full
+// ground-truth pass: "cold" pays one simulation plus cache bookkeeping
+// (every segment a miss), "warm" replays the identical workload against a
+// primed cache (every segment a hit — key derivation and copy only). The
+// warm/cold ratio is the per-process reuse speedup the experiment harness
+// sees whenever ground truth recurs; the acceptance bar is warm >= 5x cold.
+func BenchmarkFullSimCached(b *testing.B) {
+	cfg := gpu.Baseline()
+	lim := kernelgen.DSELimits()
+	w := workloads.DSERodinia(1, 120)[0]
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cache, err := simcache.New(simcache.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := FullSimOpt(w, cfg, lim, Options{Workers: 1, Cache: cache}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache, err := simcache.New(simcache.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := FullSimOpt(w, cfg, lim, Options{Workers: 1, Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := FullSimOpt(w, cfg, lim, Options{Workers: 1, Cache: cache}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

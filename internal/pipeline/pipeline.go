@@ -41,6 +41,15 @@ type Options struct {
 	// at segment starts. The segmentation — and therefore the simulated
 	// cycle counts — depends only on this value, never on Workers.
 	SegmentLen int
+	// Cache is an optional content-addressed segment-result cache (see
+	// internal/simcache) consulted by the simulation passes: segments
+	// already simulated — by an earlier pass in this process or, with a
+	// disk-backed cache, by an earlier process — are looked up instead of
+	// re-simulated. Because the cache key covers everything the engine
+	// depends on, results with and without a cache are bit-identical.
+	// Sharing one cache across FullSimOpt/SampledSimOpt/RunOpt calls is the
+	// intended use. nil disables caching.
+	Cache gpu.SegmentCache
 }
 
 // specsOf returns a spec generator for a workload subset: position i maps
@@ -72,7 +81,7 @@ func FullSimOpt(w *trace.Workload, cfg gpu.Config, lim kernelgen.Limits, opt Opt
 	for i := range indices {
 		indices[i] = i
 	}
-	results, _, err := gpu.RunSegmentedFunc(cfg, len(indices), specsOf(w, lim, indices), opt.SegmentLen, opt.Workers)
+	results, _, err := gpu.RunSegmentedCached(cfg, len(indices), specsOf(w, lim, indices), opt.SegmentLen, opt.Workers, opt.Cache)
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +108,7 @@ func SampledSimOpt(w *trace.Workload, cfg gpu.Config, lim kernelgen.Limits, indi
 			return nil, errors.New("pipeline: sample index out of range")
 		}
 	}
-	results, _, err := gpu.RunSegmentedFunc(cfg, len(indices), specsOf(w, lim, indices), opt.SegmentLen, opt.Workers)
+	results, _, err := gpu.RunSegmentedCached(cfg, len(indices), specsOf(w, lim, indices), opt.SegmentLen, opt.Workers, opt.Cache)
 	if err != nil {
 		return nil, err
 	}

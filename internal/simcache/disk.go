@@ -1,0 +1,162 @@
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+
+	"stemroot/internal/gpu"
+)
+
+// On-disk entry format (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "SRSC"
+//	4       4     format version (diskFormatVersion)
+//	8       32    segment key (must match the file's name and the request)
+//	40      8     result count n
+//	48      32*n  results: Cycles, Instructions, L1HitRate, L2HitRate
+//	48+32n  32    SHA-256 over bytes [0, 48+32n)
+//
+// The key embeds the engine fingerprint (gpu.KeyForSegment), so entries from
+// a different engine version are unreachable by name; the embedded key and
+// trailing checksum additionally reject renamed, truncated, or bit-rotted
+// files. Every verification failure is a silent miss — the segment is
+// simulated instead — never an error: the disk tier is an accelerator, not
+// a source of truth.
+
+const (
+	diskMagic         = "SRSC"
+	diskFormatVersion = 1
+	diskHeaderSize    = 4 + 4 + 32 + 8
+	resultWireSize    = 32 // 4 fields x 8 bytes per gpu.KernelResult
+)
+
+// maxDiskEntryBytes rejects absurd result counts before allocating: the
+// largest legitimate segment is far below this (segments are a few dozen
+// kernels), so anything bigger is corruption.
+const maxDiskEntryBytes = 64 << 20
+
+func ensureDir(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// diskPath places entries in a two-level fan-out (first key byte) so huge
+// caches do not degrade into one enormous directory.
+func (c *Cache) diskPath(key gpu.SegmentKey) string {
+	name := key.String()
+	return filepath.Join(c.dir, name[:2], name[2:])
+}
+
+// encodeEntry serializes results for key, checksum included.
+func encodeEntry(key gpu.SegmentKey, results []gpu.KernelResult) []byte {
+	n := len(results)
+	buf := make([]byte, diskHeaderSize+n*resultWireSize+sha256.Size)
+	copy(buf[0:4], diskMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], diskFormatVersion)
+	copy(buf[8:40], key[:])
+	binary.LittleEndian.PutUint64(buf[40:48], uint64(n))
+	off := diskHeaderSize
+	for i := range results {
+		r := &results[i]
+		binary.LittleEndian.PutUint64(buf[off+0:], math.Float64bits(r.Cycles))
+		binary.LittleEndian.PutUint64(buf[off+8:], uint64(r.Instructions))
+		binary.LittleEndian.PutUint64(buf[off+16:], math.Float64bits(r.L1HitRate))
+		binary.LittleEndian.PutUint64(buf[off+24:], math.Float64bits(r.L2HitRate))
+		off += resultWireSize
+	}
+	sum := sha256.Sum256(buf[:off])
+	copy(buf[off:], sum[:])
+	return buf
+}
+
+// decodeEntry verifies and deserializes a disk entry; ok is false on any
+// mismatch (magic, version, key, length, checksum).
+func decodeEntry(key gpu.SegmentKey, buf []byte) (results []gpu.KernelResult, ok bool) {
+	if len(buf) < diskHeaderSize+sha256.Size {
+		return nil, false
+	}
+	if string(buf[0:4]) != diskMagic {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(buf[4:8]) != diskFormatVersion {
+		return nil, false
+	}
+	var embedded gpu.SegmentKey
+	copy(embedded[:], buf[8:40])
+	if embedded != key {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(buf[40:48])
+	if n > maxDiskEntryBytes/resultWireSize {
+		return nil, false
+	}
+	payloadEnd := diskHeaderSize + int(n)*resultWireSize
+	if len(buf) != payloadEnd+sha256.Size {
+		return nil, false
+	}
+	sum := sha256.Sum256(buf[:payloadEnd])
+	var stored [sha256.Size]byte
+	copy(stored[:], buf[payloadEnd:])
+	if stored != sum {
+		return nil, false
+	}
+	results = make([]gpu.KernelResult, n)
+	off := diskHeaderSize
+	for i := range results {
+		results[i] = gpu.KernelResult{
+			Cycles:       math.Float64frombits(binary.LittleEndian.Uint64(buf[off+0:])),
+			Instructions: int64(binary.LittleEndian.Uint64(buf[off+8:])),
+			L1HitRate:    math.Float64frombits(binary.LittleEndian.Uint64(buf[off+16:])),
+			L2HitRate:    math.Float64frombits(binary.LittleEndian.Uint64(buf[off+24:])),
+		}
+		off += resultWireSize
+	}
+	return results, true
+}
+
+// readDisk loads a verified entry; any failure (missing file, short read,
+// corruption) reports a miss. Corrupt files are removed best-effort so they
+// are rewritten with good content on the next compute.
+func (c *Cache) readDisk(key gpu.SegmentKey) ([]gpu.KernelResult, bool) {
+	path := c.diskPath(key)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	results, ok := decodeEntry(key, buf)
+	if !ok {
+		c.diskErrors.Add(1)
+		os.Remove(path) // quarantine-by-deletion; next compute rewrites it
+		return nil, false
+	}
+	return results, true
+}
+
+// writeDisk persists an entry atomically: write to a temp file in the same
+// directory, then rename over the final name so readers never observe a
+// partial entry. All failures are silently dropped — the disk tier is
+// best-effort.
+func (c *Cache) writeDisk(key gpu.SegmentKey, results []gpu.KernelResult) {
+	path := c.diskPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
+	if err != nil {
+		return
+	}
+	buf := encodeEntry(key, results)
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

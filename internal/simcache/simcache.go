@@ -1,0 +1,304 @@
+// Package simcache is a content-addressed cache of replay-segment simulation
+// results — the "pay the full simulation once, reuse it everywhere"
+// mechanism behind the experiment harness. Keys are gpu.SegmentKey content
+// addresses (engine fingerprint + gpu.Config + spec sequence, see
+// gpu.KeyForSegment), so a hit is bit-identical to a fresh simulation by
+// construction: the engine is deterministic in exactly the hashed inputs,
+// and the determinism contract from the parallel/arena work is what makes
+// the substitution safe.
+//
+// The cache has two tiers. A sharded in-memory LRU bounded by bytes serves
+// repeated segments within a process (ε-sweep points, repetitions, DSE
+// variants sharing ground truth). An optional on-disk store (Options.Dir)
+// persists entries across processes with versioned, checksummed records that
+// are discarded — never trusted — on any mismatch; a corrupt or truncated
+// entry degrades to a simulation, not an error.
+//
+// # Concurrency
+//
+// A Cache is safe for concurrent use. GetOrCompute deduplicates concurrent
+// misses per key (singleflight): parallel workers racing on the same segment
+// simulate it exactly once and share the result. Stats counters are atomic.
+// Cached result slices are shared across callers and are read-only by
+// contract (gpu.SegmentCache).
+package simcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"stemroot/internal/gpu"
+)
+
+// DefaultMaxBytes bounds the in-memory tier when Options.MaxBytes is zero.
+// Segment entries are small (32 bytes per kernel result plus bookkeeping),
+// so 256 MiB holds on the order of 10^5..10^6 segments — far beyond any
+// current experiment run — while staying irrelevant next to the simulator's
+// own working set.
+const DefaultMaxBytes = 256 << 20
+
+// shardCount is fixed: a power of two so the key's leading byte selects a
+// shard with a mask. 16 shards keep lock contention negligible at the
+// worker counts the pipeline uses.
+const shardCount = 16
+
+// Options configure New.
+type Options struct {
+	// MaxBytes bounds the in-memory tier (approximate, counting payload plus
+	// fixed per-entry overhead). 0 selects DefaultMaxBytes; negative
+	// disables the in-memory bound (unbounded).
+	MaxBytes int64
+	// Dir enables the on-disk tier in this directory (created if missing).
+	// Empty disables it.
+	Dir string
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts GetOrCompute calls served without simulating: memory hits,
+	// disk hits, and singleflight followers that shared a leader's result.
+	Hits uint64
+	// MemHits / DiskHits / Shared break Hits down by source.
+	MemHits, DiskHits, Shared uint64
+	// Misses counts calls that ran the compute function.
+	Misses uint64
+	// Evictions counts entries dropped by the LRU byte bound.
+	Evictions uint64
+	// Bytes and Entries describe the current in-memory tier.
+	Bytes   int64
+	Entries int
+	// DiskErrors counts on-disk entries discarded for checksum, version, or
+	// format mismatches (each degraded to a simulation).
+	DiskErrors uint64
+}
+
+// Cache implements gpu.SegmentCache. See the package documentation.
+type Cache struct {
+	shards   [shardCount]shard
+	maxShard int64 // per-shard byte bound; <0 = unbounded
+	dir      string
+
+	hits, memHits, diskHits, shared atomic.Uint64
+	misses, evictions, diskErrors   atomic.Uint64
+}
+
+// entry is one cached segment result, linked into its shard's LRU ring.
+type entry struct {
+	key        gpu.SegmentKey
+	results    []gpu.KernelResult
+	bytes      int64
+	prev, next *entry
+}
+
+// call is one in-flight computation (singleflight).
+type call struct {
+	done    chan struct{}
+	results []gpu.KernelResult
+	err     error
+}
+
+// shard is one lock domain: an LRU over its share of the key space plus the
+// in-flight call table for singleflight.
+type shard struct {
+	mu    sync.Mutex
+	items map[gpu.SegmentKey]*entry
+	// head is most recently used; tail least. Sentinel-free doubly linked
+	// list: head/tail are nil when empty.
+	head, tail *entry
+	bytes      int64
+	inflight   map[gpu.SegmentKey]*call
+}
+
+// New builds a cache. The returned error is non-nil only when the disk tier
+// is requested but its directory cannot be created.
+func New(opts Options) (*Cache, error) {
+	c := &Cache{dir: opts.Dir}
+	switch {
+	case opts.MaxBytes == 0:
+		c.maxShard = DefaultMaxBytes / shardCount
+	case opts.MaxBytes < 0:
+		c.maxShard = -1
+	default:
+		c.maxShard = opts.MaxBytes / shardCount
+		if c.maxShard < 1 {
+			c.maxShard = 1
+		}
+	}
+	for i := range c.shards {
+		c.shards[i].items = make(map[gpu.SegmentKey]*entry)
+		c.shards[i].inflight = make(map[gpu.SegmentKey]*call)
+	}
+	if c.dir != "" {
+		if err := ensureDir(c.dir); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// entryOverhead approximates the fixed per-entry cost (map slot, entry
+// struct, slice header) added to the payload when accounting bytes.
+const entryOverhead = 128
+
+func payloadBytes(results []gpu.KernelResult) int64 {
+	return int64(len(results))*resultWireSize + entryOverhead
+}
+
+func (c *Cache) shardFor(key gpu.SegmentKey) *shard {
+	return &c.shards[int(key[0])&(shardCount-1)]
+}
+
+// GetOrCompute implements gpu.SegmentCache.
+func (c *Cache) GetOrCompute(key gpu.SegmentKey, compute func() ([]gpu.KernelResult, error)) ([]gpu.KernelResult, error) {
+	sh := c.shardFor(key)
+
+	sh.mu.Lock()
+	if e := sh.items[key]; e != nil {
+		sh.moveToFront(e)
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		c.memHits.Add(1)
+		return e.results, nil
+	}
+	if cl := sh.inflight[key]; cl != nil {
+		// Another goroutine is computing this key; share its result.
+		sh.mu.Unlock()
+		<-cl.done
+		if cl.err == nil {
+			c.hits.Add(1)
+			c.shared.Add(1)
+		}
+		return cl.results, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	sh.inflight[key] = cl
+	sh.mu.Unlock()
+
+	// Leader path: disk tier first, then compute. The in-flight entry is
+	// removed on every exit so a failed compute can be retried later.
+	results, fromDisk, err := c.load(key, compute)
+	cl.results, cl.err = results, err
+
+	sh.mu.Lock()
+	delete(sh.inflight, key)
+	if err == nil {
+		sh.insert(key, results, c.maxShard, &c.evictions)
+	}
+	sh.mu.Unlock()
+	close(cl.done)
+
+	if err != nil {
+		return nil, err
+	}
+	if fromDisk {
+		c.hits.Add(1)
+		c.diskHits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return results, nil
+}
+
+// load resolves a miss: disk tier (if enabled), then compute; a fresh
+// computation is written back to disk best-effort.
+func (c *Cache) load(key gpu.SegmentKey, compute func() ([]gpu.KernelResult, error)) (results []gpu.KernelResult, fromDisk bool, err error) {
+	if c.dir != "" {
+		if results, ok := c.readDisk(key); ok {
+			return results, true, nil
+		}
+	}
+	results, err = compute()
+	if err != nil {
+		return nil, false, err
+	}
+	if c.dir != "" {
+		c.writeDisk(key, results) // best-effort; failures only cost reuse
+	}
+	return results, false, nil
+}
+
+// insert adds a computed entry and enforces the byte bound. Caller holds
+// sh.mu.
+func (sh *shard) insert(key gpu.SegmentKey, results []gpu.KernelResult, maxBytes int64, evictions *atomic.Uint64) {
+	if sh.items[key] != nil {
+		return // raced with a disk-tier insert of the same content; identical by construction
+	}
+	e := &entry{key: key, results: results, bytes: payloadBytes(results)}
+	sh.items[key] = e
+	sh.bytes += e.bytes
+	sh.pushFront(e)
+	if maxBytes < 0 {
+		return
+	}
+	for sh.bytes > maxBytes && sh.tail != nil && sh.tail != e {
+		victim := sh.tail
+		sh.unlink(victim)
+		delete(sh.items, victim.key)
+		sh.bytes -= victim.bytes
+		evictions.Add(1)
+	}
+}
+
+func (sh *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *shard) moveToFront(e *entry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}
+
+// String renders the snapshot as a stable single-line key=value list, the
+// format the CLIs print and CI smoke checks parse.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"hits=%d (mem=%d disk=%d shared=%d) misses=%d entries=%d bytes=%d evictions=%d disk_errors=%d",
+		s.Hits, s.MemHits, s.DiskHits, s.Shared, s.Misses, s.Entries, s.Bytes, s.Evictions, s.DiskErrors)
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:       c.hits.Load(),
+		MemHits:    c.memHits.Load(),
+		DiskHits:   c.diskHits.Load(),
+		Shared:     c.shared.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		DiskErrors: c.diskErrors.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Bytes += sh.bytes
+		s.Entries += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return s
+}

@@ -1,0 +1,303 @@
+package simcache
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"stemroot/internal/gpu"
+)
+
+// testKey builds a key in a chosen shard (first byte selects the shard).
+func testKey(shard, id byte) gpu.SegmentKey {
+	var k gpu.SegmentKey
+	k[0] = shard
+	k[1] = id
+	k[2] = id ^ 0xa5
+	return k
+}
+
+func testResults(n int, base float64) []gpu.KernelResult {
+	out := make([]gpu.KernelResult, n)
+	for i := range out {
+		out[i] = gpu.KernelResult{
+			Cycles:       base + float64(i),
+			Instructions: int64(1000 + i),
+			L1HitRate:    0.5,
+			L2HitRate:    0.25,
+		}
+	}
+	return out
+}
+
+func sameResults(a, b []gpu.KernelResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMemoryHit(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(1, 1)
+	want := testResults(3, 100)
+	computes := 0
+	compute := func() ([]gpu.KernelResult, error) {
+		computes++
+		return want, nil
+	}
+	for i := 0; i < 3; i++ {
+		got, err := c.GetOrCompute(key, compute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResults(got, want) {
+			t.Fatalf("call %d: wrong results", i)
+		}
+	}
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.MemHits != 2 || s.Hits != 2 || s.Entries != 1 {
+		t.Fatalf("stats: %s", s)
+	}
+}
+
+func TestComputeErrorNotCached(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(2, 1)
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompute(key, func() ([]gpu.KernelResult, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// A failed compute must not poison the key: the next call retries.
+	want := testResults(2, 7)
+	got, err := c.GetOrCompute(key, func() ([]gpu.KernelResult, error) { return want, nil })
+	if err != nil || !sameResults(got, want) {
+		t.Fatalf("retry after error failed: %v", err)
+	}
+}
+
+// TestLRUEviction fills one shard past its byte bound and checks the oldest
+// entries fall out while recently used ones survive.
+func TestLRUEviction(t *testing.T) {
+	// maxShard = MaxBytes/16 = 600 bytes; each 4-result entry costs
+	// 4*32+128 = 256 bytes, so a shard holds two entries and evicts on the
+	// third.
+	c, err := New(Options{MaxBytes: 16 * 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id byte) gpu.SegmentKey { return testKey(0, id) } // all in shard 0
+	get := func(id byte) {
+		t.Helper()
+		if _, err := c.GetOrCompute(mk(id), func() ([]gpu.KernelResult, error) {
+			return testResults(4, float64(id)), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get(1)
+	get(2)
+	get(1) // touch 1 so 2 becomes LRU
+	get(3) // over bound: evicts 2
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1: %s", s.Evictions, s)
+	}
+	if s.Bytes > 600 {
+		t.Fatalf("shard over bound: %s", s)
+	}
+	sh := c.shardFor(mk(1))
+	if sh.items[mk(1)] == nil || sh.items[mk(3)] == nil {
+		t.Fatal("recently used entries were evicted")
+	}
+	if sh.items[mk(2)] != nil {
+		t.Fatal("LRU entry survived past the byte bound")
+	}
+	// The evicted entry recomputes (a miss), not an error.
+	before := c.Stats().Misses
+	get(2)
+	if c.Stats().Misses != before+1 {
+		t.Fatal("evicted entry did not recompute")
+	}
+}
+
+// TestSingleflight launches many goroutines on one cold key; the compute
+// function must run exactly once and every caller must share its result.
+// Run under -race in CI.
+func TestSingleflight(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(3, 9)
+	want := testResults(5, 42)
+
+	var computes atomic.Int64
+	release := make(chan struct{})
+	const callers = 16
+	var started sync.WaitGroup
+	started.Add(1)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := c.GetOrCompute(key, func() ([]gpu.KernelResult, error) {
+				computes.Add(1)
+				started.Done() // leader is inside compute; followers now pile up
+				<-release
+				return want, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !sameResults(got, want) {
+				t.Error("caller got wrong results")
+			}
+		}()
+	}
+	started.Wait()
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Fatalf("misses = %d, want 1: %s", s.Misses, s)
+	}
+	// Everyone but the leader either shared the in-flight call or hit the
+	// freshly inserted entry, depending on arrival time; all are hits.
+	if s.Hits != callers-1 {
+		t.Fatalf("hits = %d, want %d: %s", s.Hits, callers-1, s)
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(4, 4)
+	want := testResults(6, 9.5)
+
+	a, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.GetOrCompute(key, func() ([]gpu.KernelResult, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second cache (fresh process) must serve the key from disk without
+	// computing.
+	b, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.GetOrCompute(key, func() ([]gpu.KernelResult, error) {
+		t.Fatal("compute ran despite a valid disk entry")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResults(got, want) {
+		t.Fatal("disk round-trip changed the results")
+	}
+	s := b.Stats()
+	if s.DiskHits != 1 || s.Misses != 0 {
+		t.Fatalf("stats: %s", s)
+	}
+}
+
+// TestDiskCorruption damages the on-disk entry in several ways; every
+// variant must silently degrade to a recompute (no error), count a disk
+// error, and remove the bad file.
+func TestDiskCorruption(t *testing.T) {
+	key := testKey(5, 5)
+	want := testResults(4, 3.25)
+	good := encodeEntry(key, want)
+
+	corruptions := map[string]func([]byte) []byte{
+		"truncated":    func(b []byte) []byte { return b[:len(b)-10] },
+		"bit-flip":     func(b []byte) []byte { b[diskHeaderSize] ^= 0x01; return b },
+		"bad-magic":    func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad-version":  func(b []byte) []byte { b[4] = 0xff; return b },
+		"foreign-key":  func(b []byte) []byte { b[8] ^= 0xff; return b }, // renamed file
+		"insane-count": func(b []byte) []byte { b[47] = 0xff; return b },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := New(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := c.diskPath(key)
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			buf := append([]byte(nil), good...)
+			if err := os.WriteFile(path, corrupt(buf), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			got, err := c.GetOrCompute(key, func() ([]gpu.KernelResult, error) { return want, nil })
+			if err != nil {
+				t.Fatalf("corrupt entry surfaced an error: %v", err)
+			}
+			if !sameResults(got, want) {
+				t.Fatal("corrupt entry was trusted")
+			}
+			s := c.Stats()
+			if s.DiskErrors != 1 || s.Misses != 1 || s.DiskHits != 0 {
+				t.Fatalf("stats: %s", s)
+			}
+			// The write-back after recompute replaces the corrupt file with a
+			// valid one.
+			buf2, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("recompute did not rewrite the entry: %v", err)
+			}
+			if res, ok := decodeEntry(key, buf2); !ok || !sameResults(res, want) {
+				t.Fatal("rewritten entry is not valid")
+			}
+		})
+	}
+}
+
+func TestUnboundedMemory(t *testing.T) {
+	c, err := New(Options{MaxBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		id := byte(i)
+		if _, err := c.GetOrCompute(testKey(0, id), func() ([]gpu.KernelResult, error) {
+			return testResults(8, float64(i)), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 0 || s.Entries != 64 {
+		t.Fatalf("unbounded cache evicted: %s", s)
+	}
+}

@@ -1,0 +1,47 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFromProfileDeterministic(t *testing.T) {
+	names := []string{"gemm", "relu", "gemm", "gemm", "softmax", "relu"}
+	times := []float64{100, 5, 300, 100, 12, 5}
+	a := FromProfile("trace.csv", names, times, 7)
+	b := FromProfile("trace.csv", names, times, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("FromProfile is not deterministic")
+	}
+	if a.Len() != len(names) {
+		t.Fatalf("got %d invocations, want %d", a.Len(), len(names))
+	}
+	if a.Suite != SuiteProfile {
+		t.Fatalf("suite = %q", a.Suite)
+	}
+	for i, inv := range a.Invs {
+		if inv.Name != names[i] {
+			t.Fatalf("invocation %d name %q, want %q", i, inv.Name, names[i])
+		}
+	}
+}
+
+func TestFromProfileWorkTracksTime(t *testing.T) {
+	// The 300us gemm call must reconstruct with ~3x the compute work of the
+	// 100us calls: relative per-invocation cost is the structure the profile
+	// attests.
+	names := []string{"gemm", "gemm", "gemm"}
+	times := []float64{100, 300, 100}
+	w := FromProfile("trace.csv", names, times, 1)
+	w0 := float64(w.Invs[0].Latent.ComputeWork)
+	w1 := float64(w.Invs[1].Latent.ComputeWork)
+	if ratio := w1 / w0; ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("work ratio = %.2f, want ~3", ratio)
+	}
+	// Different seeds reconstruct different kernel characteristics.
+	v := FromProfile("trace.csv", names, times, 2)
+	if v.Invs[0].Latent.Locality == w.Invs[0].Latent.Locality &&
+		v.Invs[0].Latent.FootprintBytes == w.Invs[0].Latent.FootprintBytes {
+		t.Fatal("seed does not influence reconstruction")
+	}
+}

@@ -2,21 +2,29 @@
 # bench.sh — run the simulator-core benchmarks and record the results.
 #
 # Runs the engine benchmarks (BenchmarkFullSim across worker counts,
-# BenchmarkRunKernel) with -benchmem and emits two artifacts:
+# BenchmarkFullSimCached cold/warm, BenchmarkRunKernel) with -benchmem and
+# emits two artifacts:
 #
-#   BENCH_PR2.txt   raw `go test -bench` output (benchstat-compatible:
-#                   feed two of these to `benchstat old.txt new.txt`)
-#   BENCH_PR2.json  parsed per-benchmark numbers plus the frozen PR 1
-#                   baseline, so the perf trajectory is diffable in-repo
+#   BENCH_PR${PR}.txt   raw `go test -bench` output (benchstat-compatible:
+#                       feed two of these to `benchstat old.txt new.txt`)
+#   BENCH_PR${PR}.json  parsed per-benchmark numbers plus the frozen
+#                       baselines of earlier PRs, so the perf trajectory is
+#                       diffable in-repo
 #
-# Usage: scripts/bench.sh [benchtime] [out.json]
+# Usage: [PR=n] scripts/bench.sh [benchtime] [out.json]
+#   PR         PR number stamped into the artifacts (default 3)
 #   benchtime  go -benchtime value (default 3x; CI smoke uses 1x)
-#   out.json   output path (default BENCH_PR2.json next to the repo root)
+#   out.json   output path (default BENCH_PR${PR}.json next to the repo root)
+#
+# Acceptance bars: FullSim/j1 ns_per_op <= baseline_pr1/1.5, RunKernel
+# allocs_per_op <= 2 (both from PR 2), and FullSimCached/warm at least 5x
+# faster than FullSimCached/cold (PR 3's segment cache).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+PR="${PR:-3}"
 BENCHTIME="${1:-3x}"
-OUT="${2:-BENCH_PR2.json}"
+OUT="${2:-BENCH_PR${PR}.json}"
 RAW="${OUT%.json}.txt"
 
 run_bench() {
@@ -24,15 +32,13 @@ run_bench() {
 }
 
 {
-  run_bench 'BenchmarkFullSim' ./internal/pipeline/
+  run_bench 'BenchmarkFullSim' ./internal/pipeline/   # also matches FullSimCached
   run_bench 'BenchmarkRunKernel' ./internal/gpu/
 } | tee "$RAW"
 
 # Parse "BenchmarkName-N  iters  T ns/op  B B/op  A allocs/op" rows into
-# JSON. The PR 1 baseline block is the pre-arena engine measured on the
-# same machine class (Xeon 2.10GHz) right before this refactor landed; the
-# acceptance bar is FullSim/j1 ns_per_op <= baseline/1.5 and RunKernel
-# allocs_per_op <= 2.
+# JSON. The baseline blocks are earlier PRs' engines measured on the same
+# machine class (Xeon 2.10GHz) right before the next change landed.
 awk -v benchtime="$BENCHTIME" '
   /^Benchmark/ && /ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
@@ -53,13 +59,17 @@ awk -v benchtime="$BENCHTIME" '
 
 cat > "$OUT" <<EOF
 {
-  "pr": 2,
+  "pr": $PR,
   "benchtime": "$BENCHTIME",
   "goos": "$(go env GOOS)",
   "goarch": "$(go env GOARCH)",
   "baseline_pr1": [
     {"name": "FullSim/j1", "ns_per_op": 847070212, "bytes_per_op": 36148534, "allocs_per_op": 216177},
     {"name": "RunKernel", "ns_per_op": 21086218, "bytes_per_op": 183448, "allocs_per_op": 616}
+  ],
+  "baseline_pr2": [
+    {"name": "FullSim/j1", "ns_per_op": 467215781, "bytes_per_op": 6214402, "allocs_per_op": 2393},
+    {"name": "RunKernel", "ns_per_op": 13752289, "bytes_per_op": 0, "allocs_per_op": 0}
   ],
   "benchmarks": [
 $(cat /tmp/bench_rows.$$)
