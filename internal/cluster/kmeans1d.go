@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+
+	"stemroot/internal/rng"
+)
+
+// Result1D is a scalar k-means outcome. Assignment and Centroids alias the
+// Scratch1D's buffers: they are valid until the scratch's next KMeans call
+// and must be copied by callers that need them longer.
+type Result1D struct {
+	K          int
+	Assignment []int
+	Centroids  []float64
+	Inertia    float64
+	Iterations int
+}
+
+// Scratch1D is the reusable working state of the scalar k-means fast path.
+// The zero value is ready to use; buffers grow to the high-water mark of the
+// inputs seen and are then reused, so steady-state calls allocate nothing.
+// ROOT's recursive execution-time splits hold one per clustering worker.
+//
+// A Scratch1D is NOT safe for concurrent use.
+type Scratch1D struct {
+	assign     []int
+	bestAssign []int
+	dist       []float64
+	cent       []float64
+	prev       []float64
+	sums       []float64
+	bestCent   []float64
+	counts     []int
+}
+
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growI(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// KMeans clusters scalar values into k groups. It is the specialized
+// counterpart of the generic KMeans for dimension 1: values stay in one flat
+// []float64 (no per-point boxing), the distance/assignment/centroid loops
+// are inlined on scalars, and all working memory comes from the scratch.
+// It consumes the RNG and folds floats in exactly the order of the generic
+// path, so K, Assignment, Centroids, Inertia, and Iterations are
+// bit-identical to KMeans over the boxed points — pinned by
+// TestKMeans1DMatchesReference.
+func (s *Scratch1D) KMeans(values []float64, k int, opts Options) (Result1D, error) {
+	n := len(values)
+	if n == 0 {
+		return Result1D{}, errors.New("cluster: no points")
+	}
+	if k <= 0 {
+		return Result1D{}, errors.New("cluster: k must be positive")
+	}
+	if k > n {
+		k = n
+	}
+	opts = opts.withDefaults()
+
+	s.assign = growI(s.assign, n)
+	s.dist = growF(s.dist, n)
+	s.cent = growF(s.cent, k)
+	s.prev = growF(s.prev, k)
+	s.sums = growF(s.sums, k)
+	s.counts = growI(s.counts, k)
+
+	// Value-typed generators produce the exact sequence of the generic
+	// path's rng.New(seed) + r.Split() while staying off the heap.
+	r := rng.Seeded(opts.Seed)
+	var best Result1D
+	for restart := 0; restart < opts.Restart; restart++ {
+		child := rng.Seeded(r.Uint64())
+		inertia, iters := s.once(values, k, opts, &child)
+		if restart == 0 || inertia < best.Inertia {
+			best = Result1D{K: k, Assignment: s.assign, Centroids: s.cent,
+				Inertia: inertia, Iterations: iters}
+			if opts.Restart > 1 {
+				// Later restarts overwrite the working buffers; park the
+				// incumbent in the best-of shadow buffers.
+				s.bestAssign = growI(s.bestAssign, n)
+				copy(s.bestAssign, s.assign)
+				s.bestCent = growF(s.bestCent, k)
+				copy(s.bestCent, s.cent)
+				best.Assignment = s.bestAssign
+				best.Centroids = s.bestCent
+			}
+		}
+	}
+	return best, nil
+}
+
+// once mirrors kmState.once for dim = 1. It returns the final inertia and
+// iteration count; the assignment and centroids are left in s.assign/s.cent.
+func (s *Scratch1D) once(values []float64, k int, opts Options, r *rng.Rand) (float64, int) {
+	s.plusPlusInit(values, k, r)
+	cent := s.cent
+	prevInertia := math.Inf(1)
+	iters := 0
+	inertia := 0.0
+	moved := true
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		iters = iter + 1
+		// Fused assignment + update accumulation: one pass over the values
+		// assigns each point (reading cent) and folds it into the sums
+		// buffer. Sums, counts, and inertia accumulate in point order —
+		// exactly the order the split assignment and update loops used — so
+		// the fusion is invisible in the results.
+		for j := 0; j < k; j++ {
+			s.sums[j] = 0
+			s.counts[j] = 0
+		}
+		inertia = 0
+		if k == 2 {
+			// ROOT's splits are k=2 (§3.4): unroll the centroid loop with
+			// everything in registers. The two comparisons are the generic
+			// j-loop's iterations verbatim, so assignment, inertia, sums,
+			// and counts come out bit-identical.
+			c0, c1 := cent[0], cent[1]
+			var sum0, sum1 float64
+			var n0, n1 int
+			for i, v := range values {
+				diff0 := v - c0
+				d0 := diff0 * diff0
+				diff1 := v - c1
+				d1 := diff1 * diff1
+				bestJ, bestD := 0, math.Inf(1)
+				if d0 < bestD {
+					bestD = d0
+				}
+				if d1 < bestD {
+					bestJ, bestD = 1, d1
+				}
+				s.assign[i] = bestJ
+				inertia += bestD
+				if bestJ == 0 {
+					n0++
+					sum0 += v
+				} else {
+					n1++
+					sum1 += v
+				}
+			}
+			s.sums[0], s.sums[1] = sum0, sum1
+			s.counts[0], s.counts[1] = n0, n1
+		} else {
+			for i, v := range values {
+				bestJ, bestD := 0, math.Inf(1)
+				for j := 0; j < k; j++ {
+					diff := v - cent[j]
+					if d := diff * diff; d < bestD {
+						bestJ, bestD = j, d
+					}
+				}
+				s.assign[i] = bestJ
+				inertia += bestD
+				s.counts[bestJ]++
+				s.sums[bestJ] += v
+			}
+		}
+		copy(s.prev, cent)
+		copy(cent, s.sums[:k])
+		for j := 0; j < k; j++ {
+			if s.counts[j] == 0 {
+				// Re-seed an empty cluster at the farthest point; entries past
+				// j still hold raw sums, matching the generic path.
+				far, farD := 0, -1.0
+				for i, v := range values {
+					diff := v - cent[s.assign[i]]
+					if d := diff * diff; d > farD {
+						far, farD = i, d
+					}
+				}
+				cent[j] = values[far]
+				continue
+			}
+			inv := 1 / float64(s.counts[j])
+			cent[j] *= inv
+		}
+		moved = false
+		for j := 0; j < k; j++ {
+			if cent[j] != s.prev[j] {
+				moved = true
+				break
+			}
+		}
+		if prevInertia-inertia <= opts.Tol*math.Max(prevInertia, 1e-300) {
+			prevInertia = inertia
+			break
+		}
+		prevInertia = inertia
+	}
+
+	// Final assignment, skipped when the last update moved no centroid (the
+	// in-loop assignment is already exact against these centroids).
+	if moved {
+		inertia = 0
+		if k == 2 {
+			c0, c1 := cent[0], cent[1]
+			for i, v := range values {
+				diff0 := v - c0
+				d0 := diff0 * diff0
+				diff1 := v - c1
+				d1 := diff1 * diff1
+				bestJ, bestD := 0, math.Inf(1)
+				if d0 < bestD {
+					bestD = d0
+				}
+				if d1 < bestD {
+					bestJ, bestD = 1, d1
+				}
+				s.assign[i] = bestJ
+				inertia += bestD
+			}
+		} else {
+			for i, v := range values {
+				bestJ, bestD := 0, math.Inf(1)
+				for j := 0; j < k; j++ {
+					diff := v - cent[j]
+					if d := diff * diff; d < bestD {
+						bestJ, bestD = j, d
+					}
+				}
+				s.assign[i] = bestJ
+				inertia += bestD
+			}
+		}
+	}
+	return inertia, iters
+}
+
+// plusPlusInit is the scalar k-means++ seeding, RNG-step-compatible with
+// kmState.plusPlusInit. Two passes are saved without changing a single
+// float operation: each draw's distance total is accumulated while the
+// distance vector is produced (the generic path re-sums it afterwards —
+// same additions in the same order), and the distance update after the
+// final centroid is skipped entirely because nothing reads it.
+func (s *Scratch1D) plusPlusInit(values []float64, k int, r *rng.Rand) {
+	n := len(values)
+	c0 := values[r.Intn(n)]
+	s.cent[0] = c0
+	total := 0.0
+	for i, v := range values {
+		diff := v - c0
+		d := diff * diff
+		s.dist[i] = d
+		total += d
+	}
+	for c := 1; c < k; c++ {
+		var idx int
+		if total <= 0 {
+			idx = r.Intn(n) // all points identical to chosen centroids
+		} else {
+			idx = pickWeighted(s.dist, r.Float64()*total)
+		}
+		cv := values[idx]
+		s.cent[c] = cv
+		if c == k-1 {
+			break // the distance vector is never read again
+		}
+		total = 0
+		for i, v := range values {
+			diff := v - cv
+			if d := diff * diff; d < s.dist[i] {
+				s.dist[i] = d
+			}
+			total += s.dist[i]
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stemroot/internal/rng"
+)
+
+// ---------------------------------------------------------------------------
+// Reference implementation: the original slice-of-points k-means, kept
+// verbatim as the oracle for the flat-storage generic path and the scalar
+// 1-D fast path (the planner-performance counterpart of the simulator's
+// TestWarpHeapMatchesContainerHeap). The optimized paths must reproduce its
+// Assignment, Centroids, and Inertia bit-for-bit: identical plans are the
+// proof that the optimization is safe.
+// ---------------------------------------------------------------------------
+
+func refKMeans(points [][]float64, k int, opts Options) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errEmpty
+	}
+	if k <= 0 {
+		return nil, errEmpty
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, errEmpty
+		}
+	}
+	if k > n {
+		k = n
+	}
+	opts = opts.withDefaults()
+	r := rng.New(opts.Seed)
+
+	var best *Result
+	for restart := 0; restart < opts.Restart; restart++ {
+		res := refKMeansOnce(points, k, opts, r.Split())
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+var errEmpty = errTest("ref: invalid input")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func refKMeansOnce(points [][]float64, k int, opts Options, r *rng.Rand) *Result {
+	n := len(points)
+	dim := len(points[0])
+	centroids := refPlusPlusInit(points, k, r)
+	assign := make([]int, n)
+	counts := make([]int, k)
+	prevInertia := math.Inf(1)
+	iters := 0
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		iters = iter + 1
+		// Assignment step.
+		inertia := 0.0
+		for i, p := range points {
+			bestJ, bestD := 0, math.Inf(1)
+			for j, c := range centroids {
+				if d := sqDist(p, c); d < bestD {
+					bestJ, bestD = j, d
+				}
+			}
+			assign[i] = bestJ
+			inertia += bestD
+		}
+		// Update step.
+		for j := range centroids {
+			for d := 0; d < dim; d++ {
+				centroids[j][d] = 0
+			}
+			counts[j] = 0
+		}
+		for i, p := range points {
+			j := assign[i]
+			counts[j]++
+			for d := 0; d < dim; d++ {
+				centroids[j][d] += p[d]
+			}
+		}
+		for j := range centroids {
+			if counts[j] == 0 {
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := sqDist(p, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[j], points[far])
+				continue
+			}
+			inv := 1 / float64(counts[j])
+			for d := 0; d < dim; d++ {
+				centroids[j][d] *= inv
+			}
+		}
+		if prevInertia-inertia <= opts.Tol*math.Max(prevInertia, 1e-300) {
+			prevInertia = inertia
+			break
+		}
+		prevInertia = inertia
+	}
+
+	// Final assignment against the last centroids — unconditionally, which
+	// the optimized paths skip when no centroid moved; the oracle proves the
+	// skip is invisible.
+	inertia := 0.0
+	for i, p := range points {
+		bestJ, bestD := 0, math.Inf(1)
+		for j, c := range centroids {
+			if d := sqDist(p, c); d < bestD {
+				bestJ, bestD = j, d
+			}
+		}
+		assign[i] = bestJ
+		inertia += bestD
+	}
+	return &Result{K: k, Assignment: assign, Centroids: centroids, Inertia: inertia, Iterations: iters}
+}
+
+func refPlusPlusInit(points [][]float64, k int, r *rng.Rand) [][]float64 {
+	n := len(points)
+	dim := len(points[0])
+	centroids := make([][]float64, 0, k)
+	first := append(make([]float64, 0, dim), points[r.Intn(n)]...)
+	centroids = append(centroids, first)
+
+	dist := make([]float64, n)
+	for i, p := range points {
+		dist[i] = sqDist(p, centroids[0])
+	}
+	for len(centroids) < k {
+		total := 0.0
+		for _, d := range dist {
+			total += d
+		}
+		var idx int
+		if total <= 0 {
+			idx = r.Intn(n)
+		} else {
+			x := r.Float64() * total
+			for i, d := range dist {
+				x -= d
+				if x < 0 {
+					idx = i
+					break
+				}
+			}
+		}
+		c := append(make([]float64, 0, dim), points[idx]...)
+		centroids = append(centroids, c)
+		for i, p := range points {
+			if d := sqDist(p, c); d < dist[i] {
+				dist[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// ---------------------------------------------------------------------------
+// Oracles
+// ---------------------------------------------------------------------------
+
+func resultsIdentical(t *testing.T, ctx string, got, want *Result) {
+	t.Helper()
+	if got.K != want.K || got.Iterations != want.Iterations {
+		t.Fatalf("%s: K/Iterations (%d,%d) != ref (%d,%d)",
+			ctx, got.K, got.Iterations, want.K, want.Iterations)
+	}
+	if got.Inertia != want.Inertia {
+		t.Fatalf("%s: inertia %v != ref %v (bitwise)", ctx, got.Inertia, want.Inertia)
+	}
+	for i := range want.Assignment {
+		if got.Assignment[i] != want.Assignment[i] {
+			t.Fatalf("%s: assignment[%d] = %d, ref %d", ctx, i, got.Assignment[i], want.Assignment[i])
+		}
+	}
+	for j := range want.Centroids {
+		for d := range want.Centroids[j] {
+			if got.Centroids[j][d] != want.Centroids[j][d] {
+				t.Fatalf("%s: centroid[%d][%d] = %v, ref %v (bitwise)",
+					ctx, j, d, got.Centroids[j][d], want.Centroids[j][d])
+			}
+		}
+	}
+}
+
+// oracleValues builds scalar inputs spanning the shapes ROOT feeds k-means:
+// well-separated modes, heavy duplicates, constants, and single points.
+func oracleValues(r *rng.Rand) []float64 {
+	n := 1 + r.Intn(120)
+	vals := make([]float64, n)
+	switch r.Intn(4) {
+	case 0: // bimodal
+		for i := range vals {
+			base := 10.0
+			if i%2 == 0 {
+				base = 100
+			}
+			vals[i] = base * (1 + 0.05*r.NormFloat64())
+		}
+	case 1: // heavy duplicates (ties everywhere)
+		for i := range vals {
+			vals[i] = float64(r.Intn(4))
+		}
+	case 2: // constant
+		for i := range vals {
+			vals[i] = 42
+		}
+	default: // log-normal spread
+		for i := range vals {
+			vals[i] = r.LogNormal(2, 1)
+		}
+	}
+	return vals
+}
+
+// TestKMeans1DMatchesReference pins the scalar fast path bit-for-bit against
+// the reference implementation over boxed points, across input shapes, k,
+// tolerances (forcing both the converged-in-place skip and the moved final
+// pass), and restart counts.
+func TestKMeans1DMatchesReference(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		vals := oracleValues(r)
+		k := 1 + r.Intn(5)
+		opts := Options{
+			Seed:    r.Uint64(),
+			Restart: 1 + r.Intn(3),
+		}
+		if r.Intn(2) == 0 {
+			// Tiny tolerance + generous iterations drive Lloyd to a true
+			// fixed point, exercising the skipped final-assignment branch.
+			opts.Tol = 1e-300
+			opts.MaxIter = 500
+		}
+		pts := make([][]float64, len(vals))
+		for i, v := range vals {
+			pts[i] = []float64{v}
+		}
+		want, err := refKMeans(pts, k, opts)
+		if err != nil {
+			return false
+		}
+		got, err := KMeans1D(vals, k, opts)
+		if err != nil {
+			return false
+		}
+		resultsIdentical(t, "KMeans1D", got, want)
+
+		// The scratch entry point must agree too, including when reused.
+		var s Scratch1D
+		for rep := 0; rep < 2; rep++ {
+			r1, err := s.KMeans(vals, k, opts)
+			if err != nil {
+				return false
+			}
+			if r1.K != want.K || r1.Inertia != want.Inertia || r1.Iterations != want.Iterations {
+				return false
+			}
+			for i := range want.Assignment {
+				if r1.Assignment[i] != want.Assignment[i] {
+					return false
+				}
+			}
+			for j := range want.Centroids {
+				if r1.Centroids[j] != want.Centroids[j][0] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKMeansMatchesReference pins the flat-storage generic path (PKA's
+// row-major refactor) bit-for-bit against the reference implementation.
+func TestKMeansMatchesReference(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(80)
+		dim := 1 + r.Intn(6)
+		k := 1 + r.Intn(6)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = make([]float64, dim)
+			for d := range pts[i] {
+				if r.Intn(4) == 0 {
+					pts[i][d] = float64(r.Intn(3)) // duplicates / ties
+				} else {
+					pts[i][d] = r.NormFloat64() * 10
+				}
+			}
+		}
+		opts := Options{Seed: r.Uint64(), Restart: 1 + r.Intn(2)}
+		if r.Intn(2) == 0 {
+			opts.Tol = 1e-300
+			opts.MaxIter = 500
+		}
+		want, err := refKMeans(pts, k, opts)
+		if err != nil {
+			return false
+		}
+		got, err := KMeans(pts, k, opts)
+		if err != nil {
+			return false
+		}
+		resultsIdentical(t, "KMeans", got, want)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPickWeightedRoundingFallback is the regression test for the k-means++
+// rounding edge case: when the weighted scan completes without the running
+// remainder dropping below zero, the draw must land on the last point with
+// nonzero distance — never on an index-0 point whose distance is zero (an
+// already-chosen centroid).
+func TestPickWeightedRoundingFallback(t *testing.T) {
+	dist := []float64{0, 0, 1 << 60, 0}
+	// x == sum(dist): the scan ends with x exactly 0, never negative — the
+	// float-rounding shape that used to leave idx at its zero value.
+	if got := pickWeighted(dist, 1<<60); got != 2 {
+		t.Fatalf("unconsumed scan picked index %d, want last nonzero-distance point 2", got)
+	}
+	// Normal draws are unaffected.
+	if got := pickWeighted([]float64{3, 1}, 3.5); got != 1 {
+		t.Fatalf("pickWeighted(3.5 of [3 1]) = %d, want 1", got)
+	}
+	if got := pickWeighted([]float64{3, 1}, 2.5); got != 0 {
+		t.Fatalf("pickWeighted(2.5 of [3 1]) = %d, want 0", got)
+	}
+	// All-zero weights (callers gate on total > 0, but stay safe).
+	if got := pickWeighted([]float64{0, 0}, 0); got != 0 {
+		t.Fatalf("pickWeighted on zero weights = %d, want 0", got)
+	}
+}
+
+// TestKMeans1DScratchSteadyStateAllocs pins the fast path's allocation
+// contract: after the first call grows the buffers, clustering allocates
+// nothing.
+func TestKMeans1DScratchSteadyStateAllocs(t *testing.T) {
+	r := rng.New(3)
+	vals := make([]float64, 4096)
+	for i := range vals {
+		base := 10.0
+		if i%2 == 0 {
+			base = 100
+		}
+		vals[i] = base * (1 + 0.05*r.NormFloat64())
+	}
+	var s Scratch1D
+	if _, err := s.KMeans(vals, 2, Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := s.KMeans(vals, 2, Options{Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("steady-state Scratch1D.KMeans allocates %.1f objects, want 0", avg)
+	}
+}

@@ -19,8 +19,27 @@ import "math"
 // charged against the budget, and the KKT solution is recomputed over the
 // remaining clusters. Zero-variance clusters need exactly one sample.
 func OptimalSizes(clusters []ClusterStats, p Params) []int {
+	var s kktScratch
+	return optimalSizesInto(make([]int, len(clusters)), clusters, p, &s)
+}
+
+// kktScratch holds the working sets of optimalSizesInto so ROOT's recursion
+// can size every candidate split without allocating.
+type kktScratch struct {
+	active []int
+	capped []bool
+}
+
+// optimalSizesInto is OptimalSizes writing into a caller-provided slice
+// (len(clusters), contents ignored) with scratch-backed working sets. The
+// capped set is a dense bool slice walked in ascending cluster order, which
+// also makes the residual-variance fold deterministic — the map the
+// original used folded floats in map iteration order.
+func optimalSizesInto(sizes []int, clusters []ClusterStats, p Params, s *kktScratch) []int {
 	n := len(clusters)
-	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = 0
+	}
 
 	var totalTime float64
 	for _, c := range clusters {
@@ -30,7 +49,10 @@ func OptimalSizes(clusters []ClusterStats, p Params) []int {
 	budget := math.Pow(p.Epsilon*totalTime/z, 2)
 
 	// Partition: degenerate clusters need one sample; the rest are active.
-	active := make([]int, 0, n)
+	if cap(s.active) < n {
+		s.active = make([]int, 0, n)
+	}
+	active := s.active[:0]
 	for i, c := range clusters {
 		switch {
 		case c.N <= 0:
@@ -42,11 +64,20 @@ func OptimalSizes(clusters []ClusterStats, p Params) []int {
 		}
 	}
 
-	capped := make(map[int]bool)
+	if cap(s.capped) < n {
+		s.capped = make([]bool, n)
+	}
+	capped := s.capped[:n]
+	for i := range capped {
+		capped[i] = false
+	}
 	for len(active) > 0 {
 		// Budget remaining after capped clusters' residual variance.
 		rem := budget
-		for i := range capped {
+		for i, isCapped := range capped {
+			if !isCapped {
+				continue
+			}
 			ci := clusters[i]
 			rem -= float64(ci.N) * ci.StdDev * ci.StdDev // b_i/N_i
 		}
@@ -59,11 +90,11 @@ func OptimalSizes(clusters []ClusterStats, p Params) []int {
 			return sizes
 		}
 
-		var s float64 // Σ sqrt(a_j b_j) over active clusters
+		var sum float64 // Σ sqrt(a_j b_j) over active clusters
 		for _, i := range active {
 			ci := clusters[i]
 			b := float64(ci.N) * float64(ci.N) * ci.StdDev * ci.StdDev
-			s += math.Sqrt(ci.Mean * b)
+			sum += math.Sqrt(ci.Mean * b)
 		}
 
 		overflowed := false
@@ -71,7 +102,7 @@ func OptimalSizes(clusters []ClusterStats, p Params) []int {
 		for _, i := range active {
 			ci := clusters[i]
 			b := float64(ci.N) * float64(ci.N) * ci.StdDev * ci.StdDev
-			m := s / rem * math.Sqrt(b/ci.Mean)
+			m := sum / rem * math.Sqrt(b/ci.Mean)
 			if m >= float64(ci.N) {
 				sizes[i] = ci.N
 				capped[i] = true

@@ -2,10 +2,12 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"stemroot/internal/cluster"
 	"stemroot/internal/parallel"
 	"stemroot/internal/rng"
+	"stemroot/internal/stats"
 )
 
 // Cluster is one leaf of ROOT's hierarchy: a set of invocation indices that
@@ -19,61 +21,156 @@ type Cluster struct {
 	Stats ClusterStats
 }
 
-// rootSplit recursively partitions one kernel-name group. times is the full
-// per-invocation time vector; idxs the member indices of the current
-// cluster.
+// splitArena is the scratch memory of one ROOT clustering worker. The
+// recursion uses the tmp buffers only for the stable partition at the
+// current node, so one arena serves an entire kernel-name group: a parent
+// is done with every buffer before it recurses (only the group offsets and
+// sub-statistics survive into the recursion, and those live on the stack).
+// Arenas are pure scratch — pooling them across calls cannot affect results.
+type splitArena struct {
+	valTmp []float64 // stable-partition scratch
+	idxTmp []int     // stable-partition scratch
+	counts []int     // per-subcluster member counts, then scatter cursors
+	sizes  []int
+	kkt    kktScratch
+	km     cluster.Scratch1D
+}
+
+var splitArenas = sync.Pool{New: func() any { return new(splitArena) }}
+
+func (a *splitArena) grow(n int) {
+	if cap(a.valTmp) < n {
+		a.valTmp = make([]float64, n)
+		a.idxTmp = make([]int, n)
+	}
+}
+
+// rootSplit recursively partitions one kernel-name group. vals and idxs are
+// parallel slices describing the current cluster's members — vals[i] is the
+// execution time of invocation idxs[i] — and cs is StatsOf(vals), which the
+// caller already has (the top level computes it once; a split computed it as
+// the sub-cluster statistic), so no node summarizes its values twice. Both
+// slices are stably partitioned in place as the recursion descends; emitted
+// leaves alias disjoint sub-ranges of idxs.
 //
 // The branching rule (Fig. 4, bottom): estimate the simulated time of
 // sampling the cluster as-is (τ_old, Eq. 7) and of sampling the k-means
 // subclusters with jointly optimized sizes (τ_new, Eq. 8); split only if
 // τ_new < τ_old.
-func rootSplit(name string, times []float64, idxs []int, p Params, depth int, out []Cluster) []Cluster {
-	vals := make([]float64, len(idxs))
-	for i, ix := range idxs {
-		vals[i] = times[ix]
-	}
-	cs := StatsOf(vals)
+func rootSplit(name string, vals []float64, idxs []int, cs ClusterStats, p Params, depth int, out []Cluster, a *splitArena) []Cluster {
+	n := len(idxs)
 	leaf := Cluster{Name: name, Indices: idxs, Stats: cs}
 
 	if depth >= p.MaxDepth || cs.N < p.MinClusterSize || cs.StdDev == 0 {
 		return append(out, leaf)
 	}
+	a.grow(n)
 
-	res, err := cluster.KMeans1D(vals, p.SplitK, cluster.Options{
+	res, err := a.km.KMeans(vals, p.SplitK, cluster.Options{
 		Seed: rng.Derive(p.Seed, rng.HashString(name), uint64(depth), uint64(len(idxs))),
 	})
 	if err != nil {
 		return append(out, leaf)
 	}
-	groups := res.Groups()
-	if len(groups) < 2 {
+	k := res.K
+
+	if cap(a.counts) < k {
+		a.counts = make([]int, k)
+	}
+	counts := a.counts[:k]
+	for j := range counts {
+		counts[j] = 0
+	}
+	for _, g := range res.Assignment {
+		counts[g]++
+	}
+	nonEmpty := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
 		return append(out, leaf) // k-means could not separate anything
 	}
 
-	subStats := make([]ClusterStats, len(groups))
-	subIdxs := make([][]int, len(groups))
-	for g, members := range groups {
-		sub := make([]int, len(members))
-		subVals := make([]float64, len(members))
-		for j, m := range members {
-			sub[j] = idxs[m]
-			subVals[j] = vals[m]
+	// Group offsets and sub-statistics must survive the recursion below
+	// (everything in the arena is clobbered by child nodes), so they live on
+	// the stack for the usual SplitK and spill to the heap only for exotic
+	// configurations.
+	var offBuf [9]int
+	offs := offBuf[:0]
+	if k+1 > len(offBuf) {
+		offs = make([]int, 0, k+1)
+	}
+	pos := 0
+	for _, c := range counts {
+		offs = append(offs, pos)
+		pos += c
+	}
+	offs = append(offs, pos)
+	var subBuf [8]ClusterStats
+	subStats := subBuf[:0]
+	if k > len(subBuf) {
+		subStats = make([]ClusterStats, 0, k)
+	}
+
+	// Stable partition by subcluster, scattered into the tmp buffers: group g
+	// lands in idxTmp[offs[g]:offs[g+1]] with members in their original
+	// order — exactly the per-group index lists Result.Groups() would build,
+	// without allocating them. idxs itself stays untouched until the split is
+	// accepted: a rejected split must emit the leaf with its original member
+	// order. Sub-statistics accumulate during the scatter: each group's
+	// Welford accumulator sees its values in partitioned order, the exact Add
+	// sequence StatsOf would replay over valTmp[offs[g]:offs[g+1]] afterwards.
+	var accBuf [8]stats.Online
+	accs := accBuf[:]
+	if k > len(accBuf) {
+		accs = make([]stats.Online, k)
+	}
+	idxTmp, valTmp := a.idxTmp[:n], a.valTmp[:n]
+	copy(counts, offs[:k]) // counts now serve as scatter cursors
+	for i, g := range res.Assignment {
+		c := counts[g]
+		idxTmp[c] = idxs[i]
+		valTmp[c] = vals[i]
+		counts[g] = c + 1
+		accs[g].Add(vals[i])
+	}
+
+	for j := 0; j < k; j++ {
+		if offs[j] == offs[j+1] {
+			continue
 		}
-		subIdxs[g] = sub
-		subStats[g] = StatsOf(subVals)
+		o := &accs[j]
+		subStats = append(subStats, ClusterStats{N: o.N(), Mean: o.Mean(), StdDev: o.StdDev()})
 	}
 
 	// Eq. (7): simulated time of sampling the unsplit cluster.
 	tauOld := float64(SampleSize(cs, p)) * cs.Mean
 	// Eq. (8): simulated time after the split with joint KKT sizing.
-	newSizes := OptimalSizes(subStats, p)
+	if cap(a.sizes) < len(subStats) {
+		a.sizes = make([]int, len(subStats))
+	}
+	newSizes := optimalSizesInto(a.sizes[:len(subStats)], subStats, p, &a.kkt)
 	tauNew := SimTime(subStats, newSizes)
 
 	if tauNew >= tauOld {
 		return append(out, leaf)
 	}
-	for g := range groups {
-		out = rootSplit(name, times, subIdxs[g], p, depth+1, out)
+	// Split accepted: commit the partition to idxs and vals, and recurse on
+	// the group sub-ranges — each child inherits its slice pair plus the
+	// statistic already computed for it above.
+	copy(idxs, idxTmp)
+	copy(vals, valTmp)
+	si := 0
+	for j := 0; j < k; j++ {
+		lo, hi := offs[j], offs[j+1]
+		if lo == hi {
+			continue
+		}
+		out = rootSplit(name, vals[lo:hi], idxs[lo:hi], subStats[si], p, depth+1, out, a)
+		si++
 	}
 	return out
 }
@@ -89,23 +186,53 @@ func rootSplit(name string, times []float64, idxs []int, p Params, depth int, ou
 // Kernel-name groups are independent (each split derives its RNG from the
 // name, depth, and group size — never from other groups), so they fan out
 // over p.Workers workers; per-name leaf lists are flattened in sorted name
-// order, making the output identical for every worker count.
+// order, making the output identical for every worker count. Every group's
+// index and value lists are disjoint ranges of two shared backing arrays,
+// partitioned in place by the recursion — the planner's per-invocation
+// allocations are one int and one float64, regardless of clustering depth.
 func BuildClusters(names []string, times []float64, p Params) []Cluster {
-	byName := make(map[string][]int)
+	n := len(names)
+	counts := make(map[string]int, 64)
 	var order []string
-	for i, n := range names {
-		if _, ok := byName[n]; !ok {
-			order = append(order, n)
+	for _, nm := range names {
+		if counts[nm] == 0 {
+			order = append(order, nm)
 		}
-		byName[n] = append(byName[n], i)
+		counts[nm]++
 	}
 	sort.Strings(order) // deterministic independent of input order
 
+	// Chronological index and value lists, one contiguous range per name.
+	groupOf := make(map[string]int, len(order))
+	start := make([]int, len(order)+1)
+	for i, nm := range order {
+		groupOf[nm] = i
+		start[i+1] = start[i] + counts[nm]
+	}
+	cursor := make([]int, len(order))
+	copy(cursor, start[:len(order)])
+	backing := make([]int, n)
+	valsB := make([]float64, n)
+	for i, nm := range names {
+		g := groupOf[nm]
+		backing[cursor[g]] = i
+		valsB[cursor[g]] = times[i]
+		cursor[g]++
+	}
+
 	perName, _ := parallel.Map(len(order), parallel.Workers(p.Workers),
 		func(i int) ([]Cluster, error) {
-			return rootSplit(order[i], times, byName[order[i]], p, 0, nil), nil
+			a := splitArenas.Get().(*splitArena)
+			defer splitArenas.Put(a)
+			vals := valsB[start[i]:start[i+1]]
+			idxs := backing[start[i]:start[i+1]]
+			return rootSplit(order[i], vals, idxs, StatsOf(vals), p, 0, nil, a), nil
 		})
-	var out []Cluster
+	total := 0
+	for _, leaves := range perName {
+		total += len(leaves)
+	}
+	out := make([]Cluster, 0, total)
 	for _, leaves := range perName {
 		out = append(out, leaves...)
 	}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"stemroot/internal/cluster"
+	"stemroot/internal/rng"
+)
+
+// ---------------------------------------------------------------------------
+// Reference implementation: the original allocating rootSplit/BuildClusters,
+// kept verbatim as the oracle for the arena'd recursion. The in-place stable
+// partition must reproduce the per-group index lists Result.Groups() built,
+// and the pooled scratch must never leak state between nodes — identical
+// leaves are the proof.
+// ---------------------------------------------------------------------------
+
+func refRootSplit(name string, times []float64, idxs []int, p Params, depth int, out []Cluster) []Cluster {
+	vals := make([]float64, len(idxs))
+	for i, ix := range idxs {
+		vals[i] = times[ix]
+	}
+	cs := StatsOf(vals)
+	leaf := Cluster{Name: name, Indices: idxs, Stats: cs}
+
+	if depth >= p.MaxDepth || cs.N < p.MinClusterSize || cs.StdDev == 0 {
+		return append(out, leaf)
+	}
+
+	res, err := cluster.KMeans1D(vals, p.SplitK, cluster.Options{
+		Seed: rng.Derive(p.Seed, rng.HashString(name), uint64(depth), uint64(len(idxs))),
+	})
+	if err != nil {
+		return append(out, leaf)
+	}
+	groups := res.Groups()
+	if len(groups) < 2 {
+		return append(out, leaf)
+	}
+
+	subStats := make([]ClusterStats, len(groups))
+	subIdxs := make([][]int, len(groups))
+	for g, members := range groups {
+		sub := make([]int, len(members))
+		subVals := make([]float64, len(members))
+		for j, m := range members {
+			sub[j] = idxs[m]
+			subVals[j] = vals[m]
+		}
+		subIdxs[g] = sub
+		subStats[g] = StatsOf(subVals)
+	}
+
+	tauOld := float64(SampleSize(cs, p)) * cs.Mean
+	newSizes := OptimalSizes(subStats, p)
+	tauNew := SimTime(subStats, newSizes)
+
+	if tauNew >= tauOld {
+		return append(out, leaf)
+	}
+	for g := range groups {
+		out = refRootSplit(name, times, subIdxs[g], p, depth+1, out)
+	}
+	return out
+}
+
+func refBuildClusters(names []string, times []float64, p Params) []Cluster {
+	byName := make(map[string][]int)
+	var order []string
+	for i, n := range names {
+		if _, ok := byName[n]; !ok {
+			order = append(order, n)
+		}
+		byName[n] = append(byName[n], i)
+	}
+	var out []Cluster
+	for _, name := range order {
+		out = append(out, refRootSplit(name, times, byName[name], p, 0, nil)...)
+	}
+	// The production path flattens in sorted name order; the reference emits
+	// in first-seen order, so compare leaf sets per name below instead of
+	// globally sorting here. (Callers sort before comparing.)
+	return out
+}
+
+// oracleProfile synthesizes a multi-kernel trace with mixed modality: some
+// kernels bimodal, some log-normal, some constant, some tiny.
+func oracleProfile(n int, seed uint64) ([]string, []float64) {
+	r := rng.New(seed)
+	kernels := []string{"gemm", "relu", "pool", "softmax", "ln", "attn", "tiny"}
+	names := make([]string, n)
+	times := make([]float64, n)
+	for i := range names {
+		k := kernels[r.Intn(len(kernels))]
+		names[i] = k
+		switch k {
+		case "gemm", "attn": // bimodal
+			base := 10.0
+			if r.Intn(2) == 0 {
+				base = 120
+			}
+			times[i] = base * (1 + 0.03*r.NormFloat64())
+		case "relu", "pool": // log-normal
+			times[i] = r.LogNormal(1.5, 0.6)
+		case "ln": // constant
+			times[i] = 7
+		default:
+			times[i] = 1 + 0.1*r.NormFloat64()
+		}
+	}
+	return names, times
+}
+
+// TestBuildClustersMatchesReference pins the arena'd in-place recursion
+// leaf-for-leaf against the original allocating implementation: same leaf
+// count, same names, same member indices in the same order, same statistics
+// (struct equality, hence bitwise on the float fields).
+func TestBuildClustersMatchesReference(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 17, 91} {
+		names, times := oracleProfile(6000, seed)
+		p := defaultP()
+		p.Seed = seed
+
+		want := refBuildClusters(names, times, p)
+		wantByName := make(map[string][]Cluster)
+		for _, c := range want {
+			wantByName[c.Name] = append(wantByName[c.Name], c)
+		}
+
+		got := BuildClusters(names, times, p)
+		gotByName := make(map[string][]Cluster)
+		for _, c := range got {
+			gotByName[c.Name] = append(gotByName[c.Name], c)
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d leaves, reference %d", seed, len(got), len(want))
+		}
+		for name, wl := range wantByName {
+			gl := gotByName[name]
+			if len(gl) != len(wl) {
+				t.Fatalf("seed %d, kernel %q: %d leaves, reference %d", seed, name, len(gl), len(wl))
+			}
+			for i := range wl {
+				if gl[i].Stats != wl[i].Stats {
+					t.Fatalf("seed %d, kernel %q leaf %d: stats %+v, reference %+v",
+						seed, name, i, gl[i].Stats, wl[i].Stats)
+				}
+				if len(gl[i].Indices) != len(wl[i].Indices) {
+					t.Fatalf("seed %d, kernel %q leaf %d: %d members, reference %d",
+						seed, name, i, len(gl[i].Indices), len(wl[i].Indices))
+				}
+				for j := range wl[i].Indices {
+					if gl[i].Indices[j] != wl[i].Indices[j] {
+						t.Fatalf("seed %d, kernel %q leaf %d member %d: %d, reference %d",
+							seed, name, i, j, gl[i].Indices[j], wl[i].Indices[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildClustersAllocs pins the planner's allocation contract: the arena'd
+// recursion allocates a small, depth-independent number of objects per call —
+// the shared index backing array, the grouping maps, and the flattened output,
+// but nothing per recursion level. The old implementation allocated tens of
+// thousands of objects on this profile.
+func TestBuildClustersAllocs(t *testing.T) {
+	names, times := oracleProfile(50000, 42)
+	p := defaultP()
+	p.Workers = 1
+
+	BuildClusters(names, times, p) // warm the arena pool and KKT scratch
+	avg := testing.AllocsPerRun(5, func() {
+		BuildClusters(names, times, p)
+	})
+	// ~20 fixed allocations (maps, order slice, backing array, result) plus a
+	// handful from parallel.Map; anything near the old per-level behavior
+	// (~1 alloc per 10 invocations) trips this immediately.
+	if avg > 100 {
+		t.Fatalf("BuildClusters allocates %.0f objects per run, want <= 100", avg)
+	}
+}

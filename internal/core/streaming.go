@@ -147,9 +147,16 @@ func BuildPlanStream(src ProfileScanner, p Params, opts StreamOptions) (*Plan, e
 		lo, hi float64 // [lo, hi)
 	}
 	var intervals []interval
+	arena := splitArenas.Get().(*splitArena)
+	defer splitArenas.Put(arena)
+	var valBuf []float64
 	for _, name := range order {
 		vals := states[name].res.vals
-		leaves := rootSplit(name, vals, identityIndices(len(vals)), p, 0, nil)
+		// The recursion partitions its value slice in place; cluster on a
+		// scratch copy so leaf indices keep addressing the reservoir's
+		// original order.
+		valBuf = append(valBuf[:0], vals...)
+		leaves := rootSplit(name, valBuf, identityIndices(len(vals)), StatsOf(valBuf), p, 0, nil, arena)
 		// Leaves of 1-D k-means are contiguous; recover their value ranges
 		// and convert to a partition of the real line.
 		type span struct{ lo, hi float64 }

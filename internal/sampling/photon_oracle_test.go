@@ -1,0 +1,196 @@
+package sampling
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stemroot/internal/cluster"
+	"stemroot/internal/rng"
+	"stemroot/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Reference implementation: the original unpruned Photon planner, comparing
+// every candidate pair with the full similarity computation. The pruned
+// planner must make identical accept/reject decisions on every comparison,
+// hence build the identical plan.
+// ---------------------------------------------------------------------------
+
+func refPhotonPlan(p *Photon, w *trace.Workload) (*Plan, error) {
+	if w.Len() == 0 {
+		return nil, errors.New("sampling: empty workload")
+	}
+	dim := p.BBVDim
+	if dim <= 0 {
+		dim = trace.DefaultBBVDim
+	}
+	bbvs := make([][]float64, w.Len())
+	for i := range w.Invs {
+		bbvs[i] = w.Invs[i].BBV(dim)
+	}
+	compare := trace.BBVSimilarity
+	if p.PCADim > 0 && p.PCADim < dim {
+		pca, err := cluster.FitPCA(bbvs, p.PCADim, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		bbvs = pca.TransformAll(bbvs)
+		compare = pcaSimilarity
+	}
+
+	type rep struct {
+		idx   int
+		warps int
+		count int
+	}
+	repsByName := make(map[string][]*rep)
+	order := make([]*rep, 0, 64)
+
+	for i := range w.Invs {
+		inv := &w.Invs[i]
+		reps := repsByName[inv.Name]
+		var home *rep
+		for _, r := range reps {
+			if r.warps != inv.Warps() {
+				continue
+			}
+			if compare(bbvs[r.idx], bbvs[i]) >= p.Threshold {
+				home = r
+				break
+			}
+		}
+		if home == nil {
+			home = &rep{idx: i, warps: inv.Warps()}
+			repsByName[inv.Name] = append(reps, home)
+			order = append(order, home)
+		}
+		home.count++
+	}
+
+	plan := &Plan{Method: p.Name()}
+	for _, r := range order {
+		plan.Groups = append(plan.Groups, Group{
+			Samples: []int{r.idx},
+			Weight:  float64(r.count),
+		})
+	}
+	return plan, nil
+}
+
+// TestSimilarAtLeastMatchesExact property-tests the pruned decision against
+// the exact similarity over vector shapes that stress the bound: sparse BBVs,
+// near-identical pairs, signed PCA-style coordinates, and thresholds drawn
+// tightly around the resulting similarity so razor-edge decisions are
+// exercised.
+func TestSimilarAtLeastMatchesExact(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(64)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		signed := r.Intn(2) == 0 // PCA-space style coordinates
+		for i := range a {
+			switch r.Intn(3) {
+			case 0: // shared structure: near-identical entries
+				v := r.Float64() * 100
+				a[i], b[i] = v, v*(1+1e-12*float64(r.Intn(3)))
+			case 1: // sparse
+				if r.Intn(2) == 0 {
+					a[i] = r.Float64() * 10
+				}
+				if r.Intn(2) == 0 {
+					b[i] = r.Float64() * 10
+				}
+			default:
+				a[i], b[i] = r.Float64()*50, r.Float64()*50
+			}
+			if signed {
+				if r.Intn(2) == 0 {
+					a[i] = -a[i]
+				}
+				if r.Intn(2) == 0 {
+					b[i] = -b[i]
+				}
+			}
+		}
+		exact := trace.BBVSimilarity(a, b)
+		// Thresholds both around the paper's 0.95 and razor-tight around the
+		// pair's own similarity (including exactly-equal, where >= must hold).
+		thresholds := []float64{0, 0.5, 0.95, 1,
+			exact, math.Nextafter(exact, 0), math.Nextafter(exact, 2)}
+		massSum := absMass(a) + absMass(b)
+		for _, th := range thresholds {
+			want := exact >= th
+			if got := similarAtLeast(a, b, massSum, th); got != want {
+				t.Errorf("seed %d th=%v: pruned=%v exact %v>=th is %v", seed, th, got, exact, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimilarAtLeastDegenerate covers the special-valued branches: zero
+// vectors (similarity 1 by convention), mismatched lengths (similarity 0),
+// and thresholds at and beyond the domain edges.
+func TestSimilarAtLeastDegenerate(t *testing.T) {
+	zero := []float64{0, 0, 0}
+	if !similarAtLeast(zero, zero, 0, 1) {
+		t.Fatal("all-zero pair has similarity 1, must pass threshold 1")
+	}
+	if similarAtLeast(zero, zero, 0, 1.5) {
+		t.Fatal("similarity 1 must fail threshold 1.5")
+	}
+	a, b := []float64{1, 0}, []float64{0, 1}
+	if similarAtLeast(a, b, 2, 0.5) {
+		t.Fatal("disjoint vectors have similarity 0")
+	}
+	if !similarAtLeast(a, b, 2, 0) {
+		t.Fatal("threshold 0 accepts everything (clamped similarity is >= 0)")
+	}
+	if similarAtLeast([]float64{1}, []float64{1, 2}, 4, 0.5) {
+		t.Fatal("mismatched lengths must compare as similarity 0")
+	}
+}
+
+// TestPhotonPlanMatchesReference pins the pruned planner plan-for-plan
+// against the unpruned reference, on both the raw-BBV and PCA paths.
+func TestPhotonPlanMatchesReference(t *testing.T) {
+	w, _ := testWorkload(t, "bert_infer")
+	for _, tc := range []struct {
+		name string
+		mk   func() *Photon
+	}{
+		{"bbv", func() *Photon { return NewPhoton(1) }},
+		{"pca", func() *Photon { p := NewPhoton(1); p.PCADim = 8; return p }},
+		{"tight", func() *Photon { p := NewPhoton(1); p.Threshold = 0.999; return p }},
+		{"loose", func() *Photon { p := NewPhoton(1); p.Threshold = 0.5; return p }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := refPhotonPlan(tc.mk(), w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tc.mk().Plan(w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Groups) != len(want.Groups) {
+				t.Fatalf("%d groups, reference %d", len(got.Groups), len(want.Groups))
+			}
+			for i := range want.Groups {
+				if got.Groups[i].Weight != want.Groups[i].Weight ||
+					got.Groups[i].Samples[0] != want.Groups[i].Samples[0] {
+					t.Fatalf("group %d: got rep %d w=%v, reference rep %d w=%v",
+						i, got.Groups[i].Samples[0], got.Groups[i].Weight,
+						want.Groups[i].Samples[0], want.Groups[i].Weight)
+				}
+			}
+		})
+	}
+}

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# bench.sh — run the simulator-core benchmarks and record the results.
+# bench.sh — run the simulator-core and planner benchmarks and record the
+# results.
 #
 # Runs the engine benchmarks (BenchmarkFullSim across worker counts,
-# BenchmarkFullSimCached cold/warm, BenchmarkRunKernel) with -benchmem and
-# emits two artifacts:
+# BenchmarkFullSimCached cold/warm, BenchmarkRunKernel) and the planner
+# benchmarks (BenchmarkBuildClusters across suite profiles,
+# BenchmarkStreamingPlan, BenchmarkPlanPhoton, BenchmarkPlanPKA) with
+# -benchmem and emits two artifacts:
 #
 #   BENCH_PR${PR}.txt   raw `go test -bench` output (benchstat-compatible:
 #                       feed two of these to `benchstat old.txt new.txt`)
@@ -12,17 +15,19 @@
 #                       diffable in-repo
 #
 # Usage: [PR=n] scripts/bench.sh [benchtime] [out.json]
-#   PR         PR number stamped into the artifacts (default 3)
+#   PR         PR number stamped into the artifacts (default 4)
 #   benchtime  go -benchtime value (default 3x; CI smoke uses 1x)
 #   out.json   output path (default BENCH_PR${PR}.json next to the repo root)
 #
 # Acceptance bars: FullSim/j1 ns_per_op <= baseline_pr1/1.5, RunKernel
-# allocs_per_op <= 2 (both from PR 2), and FullSimCached/warm at least 5x
-# faster than FullSimCached/cold (PR 3's segment cache).
+# allocs_per_op <= 2 (both from PR 2), FullSimCached/warm at least 5x faster
+# than FullSimCached/cold (PR 3's segment cache), and BuildClusters/hf at
+# least 3x faster with at least 10x fewer allocs_per_op than baseline_pr3
+# (PR 4's flat 1-D k-means + arena'd ROOT recursion).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-3}"
+PR="${PR:-4}"
 BENCHTIME="${1:-3x}"
 OUT="${2:-BENCH_PR${PR}.json}"
 RAW="${OUT%.json}.txt"
@@ -34,6 +39,7 @@ run_bench() {
 {
   run_bench 'BenchmarkFullSim' ./internal/pipeline/   # also matches FullSimCached
   run_bench 'BenchmarkRunKernel' ./internal/gpu/
+  run_bench 'BenchmarkBuildClusters|BenchmarkStreamingPlan|BenchmarkPlanPhoton|BenchmarkPlanPKA' .
 } | tee "$RAW"
 
 # Parse "BenchmarkName-N  iters  T ns/op  B B/op  A allocs/op" rows into
@@ -70,6 +76,17 @@ cat > "$OUT" <<EOF
   "baseline_pr2": [
     {"name": "FullSim/j1", "ns_per_op": 467215781, "bytes_per_op": 6214402, "allocs_per_op": 2393},
     {"name": "RunKernel", "ns_per_op": 13752289, "bytes_per_op": 0, "allocs_per_op": 0}
+  ],
+  "baseline_pr3": [
+    {"name": "FullSim/j1", "ns_per_op": 517094977, "bytes_per_op": 6214442, "allocs_per_op": 2394},
+    {"name": "FullSimCached/warm", "ns_per_op": 74411, "bytes_per_op": 32224, "allocs_per_op": 194},
+    {"name": "RunKernel", "ns_per_op": 17164885, "bytes_per_op": 0, "allocs_per_op": 0},
+    {"name": "BuildClusters/rodinia", "ns_per_op": 4236308, "bytes_per_op": 3830101, "allocs_per_op": 39227},
+    {"name": "BuildClusters/casio", "ns_per_op": 26801373, "bytes_per_op": 23900365, "allocs_per_op": 228394},
+    {"name": "BuildClusters/hf", "ns_per_op": 151827473, "bytes_per_op": 148147226, "allocs_per_op": 1275269},
+    {"name": "StreamingPlan", "ns_per_op": 79307581, "bytes_per_op": 52601096, "allocs_per_op": 380865},
+    {"name": "PlanPhoton", "ns_per_op": 14501224, "bytes_per_op": 5346144, "allocs_per_op": 10230},
+    {"name": "PlanPKA", "ns_per_op": 59973807, "bytes_per_op": 3792242, "allocs_per_op": 10441}
   ],
   "benchmarks": [
 $(cat /tmp/bench_rows.$$)
