@@ -14,6 +14,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"stemroot/internal/hwmodel"
 	"stemroot/internal/workloads"
@@ -28,10 +30,42 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generation seed")
 	device := flag.String("device", "rtx2080", "profiling device: rtx2080, h100, h200")
 	out := flag.String("out", "traces", "output directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer writeHeapProfile(*memProfile)
+	}
 
 	if err := generate(*suite, *scale, *seed, *device, *out, os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// writeHeapProfile records an up-to-date heap profile, the evidence base
+// for allocation-focused perf work (go tool pprof <binary> <path>).
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Print(err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		log.Print(err)
 	}
 }
 

@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"container/heap"
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -22,48 +23,58 @@ func (h *refHeap) Pop() interface{} {
 	return e
 }
 
+// sameLayout reports whether the struct-of-arrays heap holds exactly the
+// entry sequence ref holds, pair for pair, plus an intact +Inf sentinel at
+// keys[n] — the layout determines future tie resolution, so matching pop
+// order alone would be too weak an oracle.
+func sameLayout(h *warpHeap, ref refHeap) bool {
+	if h.n != len(ref) || len(h.keys) != h.n+1 || len(h.slots) != h.n {
+		return false
+	}
+	if !math.IsInf(h.keys[h.n], 1) {
+		return false
+	}
+	for i, e := range ref {
+		if h.keys[i] != e.ready || h.slots[i] != e.slot {
+			return false
+		}
+	}
+	return true
+}
+
 // TestWarpHeapMatchesContainerHeap is the heap-equivalence argument as a
 // property test: for random interleavings of pushes and pops — including
 // many equal keys, which is where tie-handling differences would surface —
 // the inline heap must return entries in exactly the order container/heap
-// does AND hold the identical internal array layout after every operation
-// (layout determines future tie resolution, so matching pop order alone
-// would be too weak).
+// does AND hold the identical internal array layout after every operation.
 func TestWarpHeapMatchesContainerHeap(t *testing.T) {
 	check := func(seed uint64) bool {
 		r := seed
 		next := func() uint64 { r = r*6364136223846793005 + 1442695040888963407; return r }
-		var got []heapEntry
+		var got warpHeap
+		got.reset()
 		ref := refHeap{}
 		for op := 0; op < 400; op++ {
 			// Push twice as often as pop so the heap grows; duplicate keys
 			// are frequent (8 distinct values).
-			if next()%3 != 0 || len(got) == 0 {
+			if next()%3 != 0 || got.n == 0 {
 				e := heapEntry{ready: float64(next() % 8), slot: int32(op)}
-				got = warpHeapPush(got, e)
+				got.push(e.ready, e.slot)
 				heap.Push(&ref, e)
 			} else {
-				var ge heapEntry
-				ge, got = warpHeapPop(got)
+				ge := got.pop()
 				re := heap.Pop(&ref).(heapEntry)
 				if ge != re {
 					return false
 				}
 			}
-			if len(got) != len(ref) {
+			if !sameLayout(&got, ref) {
 				return false
-			}
-			for i := range got {
-				if got[i] != ref[i] {
-					return false
-				}
 			}
 		}
 		// Drain both.
-		for len(got) > 0 {
-			var ge heapEntry
-			ge, got = warpHeapPop(got)
-			if re := heap.Pop(&ref).(heapEntry); ge != re {
+		for got.n > 0 {
+			if ge, re := got.pop(), heap.Pop(&ref).(heapEntry); ge != re {
 				return false
 			}
 		}

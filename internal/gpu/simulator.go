@@ -44,7 +44,7 @@ type Simulator struct {
 	activeBySM  []int
 	issueClock  []float64
 	mshrs       []mshrState
-	heap        []heapEntry
+	heap        warpHeap
 	warps       []warpState // slot arena; heap entries index into it
 	freeSlots   []int32
 }
@@ -73,9 +73,46 @@ func New(cfg Config) (*Simulator, error) {
 // Config returns the simulator's configuration.
 func (s *Simulator) Config() Config { return s.cfg }
 
+// Reset returns the simulator to its just-constructed state: cold L2, cold
+// L1s, empty scratch arena. A Reset simulator is bit-identical in behaviour
+// to a fresh New(cfg) one — Cache.Reset carries exactly that contract
+// (pinned by TestCacheResetMatchesFresh), and every other piece of scratch
+// is re-initialized by RunKernel anyway — while keeping all backing arrays,
+// so steady-state segment simulation over a reused simulator allocates
+// nothing. This is what lets RunSegmentedCached keep one simulator per
+// worker instead of constructing L2+L1 state per segment
+// (TestSimulatorResetMatchesNew and TestRunSegmentedCachedSteadyStateAllocs
+// pin the contract).
+func (s *Simulator) Reset() {
+	s.l2.Reset()
+	for sm := range s.l1s {
+		s.l1s[sm].Reset()
+		s.pending[sm] = s.pending[sm][:0]
+		s.nextPending[sm] = 0
+		s.activeBySM[sm] = 0
+		s.issueClock[sm] = 0
+		s.mshrs[sm].release = s.mshrs[sm].release[:0]
+	}
+	s.heap.reset()
+	s.warps = s.warps[:0]
+	s.freeSlots = s.freeSlots[:0]
+}
+
 // mshrState tracks one SM's outstanding-miss slots (miss status holding
 // registers). A miss occupies a slot until its fill returns; when every
 // slot is busy the next miss stalls until the earliest fill.
+//
+// release is a binary min-heap over the outstanding fill-completion times,
+// replacing the original per-miss O(MSHRsPerSM) linear minimum scan with an
+// O(log MSHRsPerSM) root replacement. The change is bit-identical by a
+// multiset argument: acquire's output depends only on the MINIMUM of the
+// outstanding release times (issue = max(t, min)), and both the old scan
+// (overwrite the first minimum-valued slot) and the heap (replace the root)
+// substitute one minimum-valued element with issue+latency — the multiset
+// evolves identically, so every future minimum, and therefore every issue
+// time, is unchanged. TestMSHRAcquireMatchesLinearScan pins this against
+// the preserved scan implementation; the engine-level saturation cases live
+// in the RunKernel loop oracle.
 type mshrState struct {
 	release []float64
 }
@@ -86,21 +123,47 @@ func (m *mshrState) acquire(t, latency float64, cap int) float64 {
 	if cap <= 0 {
 		return t
 	}
-	if len(m.release) < cap {
-		m.release = append(m.release, t+latency)
+	h := m.release
+	n := len(h)
+	if n < cap {
+		// Free slot: the fill outstands until t+latency; sift it up.
+		h = append(h, t+latency)
+		j := n
+		for j > 0 {
+			i := (j - 1) / 2
+			if !(h[j] < h[i]) {
+				break
+			}
+			h[i], h[j] = h[j], h[i]
+			j = i
+		}
+		m.release = h
 		return t
 	}
-	minIdx := 0
-	for i, r := range m.release {
-		if r < m.release[minIdx] {
-			minIdx = i
-		}
-	}
 	issue := t
-	if r := m.release[minIdx]; r > t {
+	if r := h[0]; r > t {
 		issue = r
 	}
-	m.release[minIdx] = issue + latency
+	// The earliest outstanding fill's slot is recycled: replace the root
+	// with the new completion time and sift it down.
+	v := issue + latency
+	h[0] = v
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h[j2] < h[j] {
+			j = j2
+		}
+		if !(h[j] < v) {
+			break
+		}
+		h[i] = h[j]
+		i = j
+	}
+	h[i] = v
 	return issue
 }
 
@@ -132,7 +195,7 @@ func (s *Simulator) activate(spec *kernelgen.Spec, sm int, at float64) {
 		}
 		s.warps[slot].sm = sm
 		spec.InitStream(&s.warps[slot].stream, id)
-		s.heap = warpHeapPush(s.heap, heapEntry{ready: at, slot: slot})
+		s.heap.push(at, slot)
 	}
 }
 
@@ -140,6 +203,20 @@ func (s *Simulator) activate(spec *kernelgen.Spec, sm int, at float64) {
 // and cache behaviour. The engine is event-driven but cycle-accurate in its
 // accounting: per-SM issue bandwidth, dependency stalls, L1/L2/DRAM
 // latencies, and global DRAM bandwidth queueing all advance the clock.
+//
+// The scheduler is event-coalesced with a held-entry fast path: after an
+// instruction executes, the warp's next heap entry is kept in a register
+// and compared against the heap root. When it is strictly earlier than the
+// root AND pushPopIsNoop proves the baseline push+pop pair would be the
+// identity on the heap array, the warp is re-issued directly with zero heap
+// traffic. Every other handoff runs warpHeap.pushPop, which computes the
+// exact push-then-pop result in one fused pass (or, outside the fast-path
+// key domain, the literal push/pop pair), so heap layout — and with it
+// container/heap tie order and per-warp RNG consumption — evolves
+// bit-identically to the pop-always loop (pinned by
+// TestRunKernelMatchesReferenceLoop and the golden tests). Consecutive
+// same-warp iterations also keep the SM's issue clock, L1, and MSHR file in
+// locals, re-loading them only when scheduling hands off to another warp.
 func (s *Simulator) RunKernel(spec *kernelgen.Spec) KernelResult {
 	cfg := s.cfg
 	if cfg.FlushL2BetweenKernels {
@@ -157,7 +234,7 @@ func (s *Simulator) RunKernel(spec *kernelgen.Spec) KernelResult {
 		s.mshrs[sm].release = s.mshrs[sm].release[:0]
 	}
 	s.l2.ResetStats()
-	s.heap = s.heap[:0]
+	s.heap.reset()
 	s.warps = s.warps[:0]
 	s.freeSlots = s.freeSlots[:0]
 
@@ -175,6 +252,49 @@ func (s *Simulator) RunKernel(spec *kernelgen.Spec) KernelResult {
 		s.activate(spec, sm, 0)
 	}
 
+	// Per-kernel latency table indexed by instruction kind, folding the
+	// per-kind switch (and the branch-divergence serialization term) into
+	// one array load. Entries hold the warp's dependency stall
+	// DependencyFraction*latency; the products are computed once from
+	// exactly the operands the switch used, so the per-instruction ready
+	// times are bit-identical. Load/store entries stay zero — the memory
+	// path computes its latency dynamically below.
+	depFrac := cfg.DependencyFraction
+	aluStall := depFrac * float64(cfg.ALULatency)
+	var stall [kernelgen.KindCount]float64
+	stall[kernelgen.OpALU] = aluStall
+	stall[kernelgen.OpFP32] = aluStall
+	stall[kernelgen.OpFP16] = depFrac * float64(cfg.FP16Latency)
+	stall[kernelgen.OpSFU] = depFrac * float64(cfg.SFULatency)
+	// Divergent branches serialize both paths.
+	stall[kernelgen.OpBranch] = depFrac * (float64(cfg.ALULatency) * (1 + 2*spec.BranchDivergence))
+	stall[kernelgen.OpSync] = aluStall
+
+	// Memory-path constants, hoisted: identical conversions and products to
+	// the per-instruction ones they replace.
+	l1HitStall := depFrac * float64(cfg.L1Latency)
+	l2Fill := float64(cfg.L2Latency)
+	dramLat := float64(cfg.DRAMLatency)
+	dramService := float64(s.l2.LineBytes()) / cfg.DRAMBytesPerCycle
+	mshrCap := cfg.MSHRsPerSM
+	l2 := s.l2
+
+	// The heap fast paths (held-entry skip, replace-root) require every
+	// event time to be a non-negative, non-NaN float: heapPushPopIsNoop's
+	// proof assumes a total order, and warpHeap.pushPop compares raw
+	// IEEE bit patterns, whose unsigned order matches float order exactly
+	// on that domain. Event times are sums and maxima of the constants
+	// below, so checking them once per kernel establishes the invariant by
+	// induction; a pathological config or spec (negative latency, NaN
+	// divergence) routes every handoff through the exact baseline push+pop
+	// pair instead, which is correct for any float ordering.
+	fastOK := l1HitStall >= 0 && l2Fill >= 0 && dramLat >= 0 && dramService >= 0 && depFrac >= 0
+	for _, v := range stall {
+		if !(v >= 0) {
+			fastOK = false
+		}
+	}
+
 	var (
 		finish   float64
 		instrs   int64
@@ -183,74 +303,111 @@ func (s *Simulator) RunKernel(spec *kernelgen.Spec) KernelResult {
 		l1Misses uint64
 	)
 
-	for len(s.heap) > 0 {
-		var e heapEntry
-		e, s.heap = warpHeapPop(s.heap)
-		w := &s.warps[e.slot]
-		ins, ok := w.stream.Next()
-		if !ok {
+	for s.heap.n > 0 {
+		e := s.heap.pop()
+		running := true
+		for running {
+			// Same-warp scope: everything hoisted here stays valid while
+			// the fast path keeps re-issuing this warp, because the heap,
+			// the SM bindings, and the warp slot are untouched until the
+			// warp retires or scheduling hands off.
+			w := &s.warps[e.slot]
 			sm := w.sm
-			s.activeBySM[sm]--
-			if e.ready > finish {
-				finish = e.ready
-			}
-			// Release the slot before activating: the next warp reuses it.
-			s.freeSlots = append(s.freeSlots, e.slot)
-			s.activate(spec, sm, e.ready)
-			continue
-		}
-		instrs++
-
-		t := e.ready
-		if s.issueClock[w.sm] > t {
-			t = s.issueClock[w.sm]
-		}
-		s.issueClock[w.sm] = t + issueStep
-
-		var lat float64
-		switch ins.Kind {
-		case kernelgen.OpALU, kernelgen.OpFP32:
-			lat = float64(cfg.ALULatency)
-		case kernelgen.OpFP16:
-			lat = float64(cfg.FP16Latency)
-		case kernelgen.OpSFU:
-			lat = float64(cfg.SFULatency)
-		case kernelgen.OpBranch:
-			// Divergent branches serialize both paths.
-			lat = float64(cfg.ALULatency) * (1 + 2*spec.BranchDivergence)
-		case kernelgen.OpSync:
-			lat = float64(cfg.ALULatency)
-		case kernelgen.OpLoad, kernelgen.OpStore:
-			l1 := s.l1s[w.sm]
-			if l1.Access(ins.Addr) {
-				lat = float64(cfg.L1Latency)
-				l1Hits++
-			} else {
-				l1Misses++
-				var fill float64
-				if s.l2.Access(ins.Addr) {
-					fill = float64(cfg.L2Latency)
-				} else {
-					// DRAM: latency plus bandwidth queueing.
-					queue := dramFree - t
-					if queue < 0 {
-						queue = 0
+			ic := s.issueClock[sm]
+			l1 := s.l1s[sm]
+			mshr := &s.mshrs[sm]
+			empty := s.heap.n == 0
+			rootReady := s.heap.keys[0] // +Inf sentinel when empty
+			// The no-op proof is a property of the heap array alone; it is
+			// computed lazily (first time the held entry beats the root)
+			// and memoized until the heap next mutates — which also exits
+			// this loop.
+			skipChecked, skipOK := false, false
+			for {
+				ins, ok := w.stream.Next()
+				if !ok {
+					s.issueClock[sm] = ic
+					s.activeBySM[sm]--
+					if e.ready > finish {
+						finish = e.ready
 					}
-					service := float64(s.l2.LineBytes()) / cfg.DRAMBytesPerCycle
-					if dramFree < t {
-						dramFree = t
+					// Release the slot before activating: the next warp
+					// reuses it. Skip activation entirely once the SM's
+					// pending list is drained — the call would scan and do
+					// nothing per remaining retirement.
+					s.freeSlots = append(s.freeSlots, e.slot)
+					if s.nextPending[sm] < len(s.pending[sm]) {
+						s.activate(spec, sm, e.ready)
 					}
-					dramFree += service
-					fill = float64(cfg.DRAMLatency) + queue
+					running = false
+					break
 				}
-				// An L1 miss needs an MSHR; a full MSHR file delays the
-				// miss until the earliest outstanding fill returns.
-				issue := s.mshrs[w.sm].acquire(t, fill, cfg.MSHRsPerSM)
-				lat = (issue - t) + fill
+				instrs++
+
+				t := e.ready
+				if ic > t {
+					t = ic
+				}
+				ic = t + issueStep
+
+				var ready float64
+				if k := ins.Kind; k != kernelgen.OpLoad && k != kernelgen.OpStore {
+					ready = t + stall[k]
+				} else if l1.Access(ins.Addr) {
+					l1Hits++
+					ready = t + l1HitStall
+				} else {
+					l1Misses++
+					var fill float64
+					if l2.Access(ins.Addr) {
+						fill = l2Fill
+					} else {
+						// DRAM: latency plus bandwidth queueing.
+						queue := dramFree - t
+						if queue < 0 {
+							queue = 0
+						}
+						if dramFree < t {
+							dramFree = t
+						}
+						dramFree += dramService
+						fill = dramLat + queue
+					}
+					// An L1 miss needs an MSHR; a full MSHR file delays the
+					// miss until the earliest outstanding fill returns.
+					issue := mshr.acquire(t, fill, mshrCap)
+					lat := (issue - t) + fill
+					ready = t + depFrac*lat
+				}
+
+				if empty {
+					e.ready = ready
+					continue
+				}
+				if ready < rootReady && fastOK {
+					if !skipChecked {
+						skipChecked, skipOK = true, s.heap.pushPopIsNoop()
+					}
+					if skipOK {
+						e.ready = ready
+						continue
+					}
+				}
+				// Hand off through the heap via the fused push+pop, which
+				// computes the pair's exact result in one pass. (When
+				// ready < rootReady it pops the same warp back, but the
+				// sifts may rotate tied entries, so the work must run.)
+				// Outside the fast-path key domain run the literal pair.
+				s.issueClock[sm] = ic
+				if fastOK {
+					e = s.heap.pushPop(heapEntry{ready: ready, slot: e.slot})
+				} else {
+					s.heap.push(ready, e.slot)
+					e = s.heap.pop()
+				}
+				break
 			}
 		}
-
-		s.heap = warpHeapPush(s.heap, heapEntry{ready: t + cfg.DependencyFraction*lat, slot: e.slot})
 	}
 
 	res := KernelResult{
@@ -331,61 +488,94 @@ func RunSegmentedCached(cfg Config, n int, specAt func(i int) kernelgen.Spec, se
 	if segLen <= 0 {
 		segLen = DefaultSegmentLen
 	}
-	simulate := func(specs []kernelgen.Spec) ([]KernelResult, error) {
-		sim, err := New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		out := make([]KernelResult, len(specs))
-		for i := range specs {
-			out[i] = sim.RunKernel(&specs[i])
-		}
-		return out, nil
-	}
 	nseg := (n + segLen - 1) / segLen
-	segments, err := parallel.Map(nseg, parallel.Workers(workers), func(sg int) ([]KernelResult, error) {
-		lo := sg * segLen
-		hi := lo + segLen
-		if hi > n {
-			hi = n
+	nworkers := parallel.Workers(workers)
+
+	// Worker-owned simulator lifecycle: each pool worker lazily constructs
+	// one Simulator on its first segment and cold-Resets it before every
+	// subsequent one. Reset is bit-identical to New (see Simulator.Reset),
+	// and segments were already simulated on per-segment fresh simulators,
+	// so results are unchanged for every worker count while steady-state
+	// segment simulation allocates nothing. New cannot fail here — its only
+	// error is cfg.Validate, which passed above.
+	sims := make([]*Simulator, nworkers)
+	simFor := func(worker int) *Simulator {
+		sim := sims[worker]
+		if sim == nil {
+			sim, _ = New(cfg)
+			sims[worker] = sim
+		} else {
+			sim.Reset()
 		}
-		if cache == nil {
-			// Uncached: one spec scratch per worker segment. RunKernel
-			// reads the spec only during the call (streams are
-			// reinitialized per kernel), so reusing the variable is safe.
-			sim, err := New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			out := make([]KernelResult, hi-lo)
-			var spec kernelgen.Spec
-			for i := lo; i < hi; i++ {
-				spec = specAt(i)
-				out[i-lo] = sim.RunKernel(&spec)
-			}
-			return out, nil
-		}
-		// Cached: materialize this segment's specs (bounded by segLen, so
-		// the working set stays one segment per worker), derive the content
-		// address, and only simulate on miss.
-		specs := make([]kernelgen.Spec, hi-lo)
-		for i := lo; i < hi; i++ {
-			specs[i-lo] = specAt(i)
-		}
-		return cache.GetOrCompute(KeyForSegment(cfg, specs), func() ([]KernelResult, error) {
-			return simulate(specs)
-		})
-	})
-	if err != nil {
-		return nil, 0, err
+		return sim
 	}
-	results := make([]KernelResult, 0, n)
-	var total float64
-	for _, seg := range segments {
-		for _, r := range seg {
-			results = append(results, r)
-			total += r.Cycles
+
+	results := make([]KernelResult, n)
+	if cache == nil {
+		// Uncached: workers write each segment's results directly into the
+		// disjoint [lo, hi) window of the shared results slice — no
+		// per-segment slices, no reassembly copy. One spec scratch per
+		// WORKER (not per segment: a function-local scratch would escape
+		// into RunKernel and heap-allocate every call): RunKernel reads the
+		// spec only during the call (streams are reinitialized per kernel),
+		// so reusing the slot across a worker's segments is safe.
+		scratch := make([]kernelgen.Spec, nworkers)
+		parallel.ForEachWorker(nseg, nworkers, func(worker, sg int) {
+			sim := simFor(worker)
+			lo := sg * segLen
+			hi := lo + segLen
+			if hi > n {
+				hi = n
+			}
+			spec := &scratch[worker]
+			for i := lo; i < hi; i++ {
+				*spec = specAt(i)
+				results[i] = sim.RunKernel(spec)
+			}
+		})
+	} else {
+		// Cached: materialize each segment's specs (bounded by segLen, so
+		// the working set stays one segment per worker), derive the content
+		// address, and only simulate on miss — on the worker's own reused
+		// simulator (GetOrCompute runs compute on the calling goroutine, so
+		// the simulator is never shared).
+		segments := make([][]KernelResult, nseg)
+		errs := make([]error, nseg)
+		parallel.ForEachWorker(nseg, nworkers, func(worker, sg int) {
+			lo := sg * segLen
+			hi := lo + segLen
+			if hi > n {
+				hi = n
+			}
+			specs := make([]kernelgen.Spec, hi-lo)
+			for i := lo; i < hi; i++ {
+				specs[i-lo] = specAt(i)
+			}
+			segments[sg], errs[sg] = cache.GetOrCompute(KeyForSegment(cfg, specs), func() ([]KernelResult, error) {
+				sim := simFor(worker)
+				out := make([]KernelResult, len(specs))
+				for i := range specs {
+					out[i] = sim.RunKernel(&specs[i])
+				}
+				return out, nil
+			})
+		})
+		// Report the error of the lowest-indexed failing segment, matching
+		// parallel.Map's worker-count-independent error contract.
+		for _, err := range errs {
+			if err != nil {
+				return nil, 0, err
+			}
 		}
+		// Cached result slices are shared between callers: copy, never
+		// alias.
+		for sg, seg := range segments {
+			copy(results[sg*segLen:], seg)
+		}
+	}
+	var total float64
+	for i := range results {
+		total += results[i].Cycles
 	}
 	return results, total, nil
 }

@@ -36,6 +36,13 @@ const (
 	OpStore
 	OpBranch
 	OpSync
+
+	// KindCount is the number of instruction kinds. The simulator sizes its
+	// per-kernel kind-indexed latency tables with it, so dispatch on OpKind
+	// is a bounded array load instead of a switch; adding a kind above
+	// automatically widens those tables (and their zero entries make a
+	// missing latency assignment fail loudly in the engine oracle tests).
+	KindCount
 )
 
 // Instr is one simulated instruction. Addr is meaningful for OpLoad/OpStore.
@@ -208,6 +215,13 @@ type Stream struct {
 	// Precomputed per-stream constants.
 	footprint uint64 // clamped footprint
 	wsize     uint64 // clamped weights-region size
+	// Power-of-two strength reduction: x % 2^k == x & (2^k - 1), so when a
+	// region size is a power of two (every stock benchmark footprint) the
+	// per-access modulo — a ~25-cycle divide on the engine's hot path —
+	// becomes a mask with the identical result. Zero masks mean "not a
+	// power of two, divide as before".
+	footMask uint64
+	wMask    uint64
 	// Cumulative instruction-mix thresholds: a uniform draw x selects
 	// Load if x < cLoad, Store if x < cStore, and so on; OpALU is the
 	// remainder.
@@ -233,6 +247,14 @@ func (s *Spec) InitStream(st *Stream, w int) {
 	st.windowLen = 0
 	st.footprint = footprint
 	st.wsize = wsize
+	st.footMask = 0
+	if footprint&(footprint-1) == 0 {
+		st.footMask = footprint - 1
+	}
+	st.wMask = 0
+	if wsize&(wsize-1) == 0 {
+		st.wMask = wsize - 1
+	}
 	st.cLoad = s.LoadFrac
 	st.cStore = st.cLoad + s.StoreFrac
 	st.cFP32 = st.cStore + s.FP32Frac
@@ -252,47 +274,71 @@ func (s *Spec) NewStream(w int) *Stream {
 }
 
 // Next returns the next instruction; ok is false when the stream is done.
+//
+// Classification walks the cumulative thresholds as a three-deep binary
+// search instead of a linear six-compare ladder; the cut points and the
+// strict-< comparisons are the same, so every draw classifies identically —
+// only the number of (frequently mispredicted) compares on the engine's
+// per-instruction path changes.
 func (st *Stream) Next() (ins Instr, ok bool) {
 	if st.remaining <= 0 {
 		return Instr{}, false
 	}
 	st.remaining--
 	x := st.r.Float64()
-	switch {
-	case x < st.cLoad:
-		return Instr{Kind: OpLoad, Addr: st.nextAddr()}, true
-	case x < st.cStore:
-		return Instr{Kind: OpStore, Addr: st.nextAddr()}, true
-	case x < st.cFP32:
+	if x < st.cFP32 {
+		if x < st.cStore {
+			if x < st.cLoad {
+				return Instr{Kind: OpLoad, Addr: st.nextAddr()}, true
+			}
+			return Instr{Kind: OpStore, Addr: st.nextAddr()}, true
+		}
 		return Instr{Kind: OpFP32}, true
-	case x < st.cFP16:
-		return Instr{Kind: OpFP16}, true
-	case x < st.cSFU:
-		return Instr{Kind: OpSFU}, true
-	case x < st.cBranch:
-		return Instr{Kind: OpBranch}, true
-	default:
-		return Instr{Kind: OpALU}, true
 	}
+	if x < st.cSFU {
+		if x < st.cFP16 {
+			return Instr{Kind: OpFP16}, true
+		}
+		return Instr{Kind: OpSFU}, true
+	}
+	if x < st.cBranch {
+		return Instr{Kind: OpBranch}, true
+	}
+	return Instr{Kind: OpALU}, true
 }
 
 func (st *Stream) nextAddr() uint64 {
 	s := st.spec
 	footprint := st.footprint
-	// Temporal reuse: revisit a recently touched line.
-	if st.windowLen > 0 && st.r.Float64() < s.Locality {
-		return st.window[st.r.Intn(st.windowLen)]
+	// Temporal reuse: revisit a recently touched line. The full window's
+	// length is a power of two, so its index draw reduces to a mask;
+	// partially filled windows keep the divide. Both compute
+	// Uint64() % windowLen exactly as Intn did.
+	if wl := st.windowLen; wl > 0 && st.r.Float64() < s.Locality {
+		u := st.r.Uint64()
+		if wl == len(st.window) {
+			return st.window[u&uint64(len(st.window)-1)]
+		}
+		return st.window[u%uint64(wl)]
 	}
 	var addr uint64
 	if s.WeightsFrac > 0 && st.r.Float64() < s.WeightsFrac {
 		// Weights: shared across invocations of the kernel, a quarter of
 		// the footprint, strided per warp.
-		addr = s.WeightsAddr + st.r.Uint64()%st.wsize
+		if u := st.r.Uint64(); st.wMask != 0 {
+			addr = s.WeightsAddr + u&st.wMask
+		} else {
+			addr = s.WeightsAddr + u%st.wsize
+		}
 		addr &^= 0x7f
 		return st.remember(addr)
 	}
 	if st.r.Float64() < s.RandomAccess {
-		addr = s.BaseAddr + st.r.Uint64()%footprint
+		if u := st.r.Uint64(); st.footMask != 0 {
+			addr = s.BaseAddr + u&st.footMask
+		} else {
+			addr = s.BaseAddr + u%footprint
+		}
 	} else {
 		st.cursor += 128
 		if st.cursor >= s.BaseAddr+footprint {
@@ -310,7 +356,9 @@ func (st *Stream) remember(addr uint64) uint64 {
 		st.window[st.windowLen] = addr
 		st.windowLen++
 	} else {
-		st.window[st.r.Intn(len(st.window))] = addr
+		// The window length is a power of two, so Intn's modulo reduces to
+		// a mask over the same single Uint64 draw.
+		st.window[st.r.Uint64()&uint64(len(st.window)-1)] = addr
 	}
 	return addr
 }

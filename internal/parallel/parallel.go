@@ -75,6 +75,48 @@ func ForEach(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForEachWorker is ForEach with the worker's pool index passed alongside
+// the unit index: fn(worker, i), worker in [0, Workers(workers)). Each
+// worker index is owned by exactly one goroutine for the duration of the
+// call, so fn may keep worker-indexed resources (a simulator, a scratch
+// arena) in a slice without synchronization and reuse them across the units
+// that worker happens to claim. The determinism contract is unchanged — and
+// sharpened: because unit-to-worker assignment is nondeterministic, fn's
+// OUTPUT must not depend on which worker ran it, only on i; worker-owned
+// resources must therefore be reset to an equivalent-to-fresh state between
+// units (see gpu.Simulator.Reset for the canonical example). The serial
+// workers <= 1 path runs everything as worker 0 in index order.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // Map runs fn(i) for every i in [0, n) over the given number of workers and
 // returns the results indexed by i. If any calls fail, every unit still
 // runs, and the error of the lowest-indexed failing call is returned

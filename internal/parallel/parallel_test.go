@@ -98,3 +98,56 @@ func TestMapNilErrorPassthrough(t *testing.T) {
 		t.Fatalf("partial results length %d", len(out))
 	}
 }
+
+func TestForEachWorkerCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		n := 57
+		var counts [57]atomic.Int32
+		ForEachWorker(n, workers, func(worker, i int) {
+			if worker < 0 || worker >= Workers(workers) {
+				t.Errorf("workers=%d: worker index %d out of range", workers, worker)
+			}
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachWorkerOwnsIndexExclusively pins the worker-resource contract:
+// a worker index is owned by one goroutine at a time, so per-worker state
+// may be mutated without synchronization. The unsynchronized counters here
+// are the proof obligation — the race detector (CI runs this package under
+// -race) flags any violation of the exclusivity guarantee.
+func TestForEachWorkerOwnsIndexExclusively(t *testing.T) {
+	const n, workers = 500, 4
+	perWorker := make([]int, workers)
+	ForEachWorker(n, workers, func(worker, i int) {
+		perWorker[worker]++ // deliberately not atomic
+	})
+	total := 0
+	for _, c := range perWorker {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("worker-owned counters sum to %d, want %d", total, n)
+	}
+}
+
+func TestForEachWorkerSerialPathIsOrdered(t *testing.T) {
+	var order []int
+	ForEachWorker(5, 1, func(worker, i int) {
+		if worker != 0 {
+			t.Fatalf("serial path used worker %d", worker)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial path order %v", order)
+		}
+	}
+}

@@ -9,9 +9,11 @@
 // The simulation passes (FullSim, SampledSim and their Opt variants) run
 // kernel invocations in parallel using deterministic fixed-length replay
 // segments: the invocation sequence is cut into segments of
-// Options.SegmentLen, each segment is simulated on its own fresh
-// gpu.Simulator (the Simulator is not safe for concurrent use — one
-// instance per worker), and cycle counts are collected by invocation index.
+// Options.SegmentLen, each segment is simulated from cold simulator state
+// (the Simulator is not safe for concurrent use; each worker owns one
+// long-lived instance that gpu.Simulator.Reset cold-resets between
+// segments, bit-identical to a fresh gpu.New and allocation-free in
+// steady state), and cycle counts are collected by invocation index.
 // Because the segmentation depends only on the input — never on the worker
 // count or goroutine scheduling — results are bit-identical for every
 // Options.Workers value, including the serial workers == 1 path; the

@@ -15,19 +15,21 @@
 #                       diffable in-repo
 #
 # Usage: [PR=n] scripts/bench.sh [benchtime] [out.json]
-#   PR         PR number stamped into the artifacts (default 4)
+#   PR         PR number stamped into the artifacts (default 5)
 #   benchtime  go -benchtime value (default 3x; CI smoke uses 1x)
 #   out.json   output path (default BENCH_PR${PR}.json next to the repo root)
 #
 # Acceptance bars: FullSim/j1 ns_per_op <= baseline_pr1/1.5, RunKernel
 # allocs_per_op <= 2 (both from PR 2), FullSimCached/warm at least 5x faster
-# than FullSimCached/cold (PR 3's segment cache), and BuildClusters/hf at
+# than FullSimCached/cold (PR 3's segment cache), BuildClusters/hf at
 # least 3x faster with at least 10x fewer allocs_per_op than baseline_pr3
-# (PR 4's flat 1-D k-means + arena'd ROOT recursion).
+# (PR 4's flat 1-D k-means + arena'd ROOT recursion), and — PR 5's
+# event-coalesced engine — FullSim/j1 AND RunKernel ns_per_op both
+# <= baseline_pr4/1.3 with RunKernel allocs_per_op still <= 2.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-4}"
+PR="${PR:-5}"
 BENCHTIME="${1:-3x}"
 OUT="${2:-BENCH_PR${PR}.json}"
 RAW="${OUT%.json}.txt"
@@ -87,6 +89,18 @@ cat > "$OUT" <<EOF
     {"name": "StreamingPlan", "ns_per_op": 79307581, "bytes_per_op": 52601096, "allocs_per_op": 380865},
     {"name": "PlanPhoton", "ns_per_op": 14501224, "bytes_per_op": 5346144, "allocs_per_op": 10230},
     {"name": "PlanPKA", "ns_per_op": 59973807, "bytes_per_op": 3792242, "allocs_per_op": 10441}
+  ],
+  "baseline_pr4": [
+    {"name": "FullSim/j1", "ns_per_op": 450391494, "bytes_per_op": 6214437, "allocs_per_op": 2394},
+    {"name": "FullSimCached/cold", "ns_per_op": 453944623, "bytes_per_op": 6244650, "allocs_per_op": 2606},
+    {"name": "FullSimCached/warm", "ns_per_op": 67849, "bytes_per_op": 32224, "allocs_per_op": 194},
+    {"name": "RunKernel", "ns_per_op": 13844719, "bytes_per_op": 0, "allocs_per_op": 0},
+    {"name": "BuildClusters/rodinia", "ns_per_op": 1444283, "bytes_per_op": 244893, "allocs_per_op": 87},
+    {"name": "BuildClusters/casio", "ns_per_op": 8021962, "bytes_per_op": 1266658, "allocs_per_op": 116},
+    {"name": "BuildClusters/hf", "ns_per_op": 45222130, "bytes_per_op": 7027757, "allocs_per_op": 92},
+    {"name": "StreamingPlan", "ns_per_op": 40265737, "bytes_per_op": 14081170, "allocs_per_op": 749},
+    {"name": "PlanPhoton", "ns_per_op": 14464282, "bytes_per_op": 5387104, "allocs_per_op": 10231},
+    {"name": "PlanPKA", "ns_per_op": 55958188, "bytes_per_op": 14505304, "allocs_per_op": 10541}
   ],
   "benchmarks": [
 $(cat /tmp/bench_rows.$$)
