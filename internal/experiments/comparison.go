@@ -31,9 +31,13 @@ type Row struct {
 // series and the per-suite Table 3 columns.
 //
 // Workloads are independent (per-workload seeds, per-workload method
-// instances), so they fan out over cfg.Parallelism workers; per-workload
-// row groups are flattened in workload order, making the output identical
-// for every worker count.
+// instances), so they fan out over cfg.Parallelism workers on the
+// work-stealing scheduler — workload costs are heavily skewed (one
+// HuggingFace workload simulates orders of magnitude more invocations than
+// a small Rodinia one), and stealing drains the cheap workloads onto idle
+// workers instead of serializing them behind a straggler. Per-workload row
+// groups are flattened in workload order, making the output identical for
+// every worker count.
 func SuiteComparison(cfg Config, suite string) ([]Row, error) {
 	scale := cfg.CASIOScale
 	if suite == workloads.SuiteHuggingFace {
@@ -44,7 +48,7 @@ func SuiteComparison(cfg Config, suite string) ([]Row, error) {
 		return nil, err
 	}
 
-	perWorkload, err := parallel.Map(len(ws), parallel.Workers(cfg.Parallelism),
+	perWorkload, err := parallel.MapStealing(len(ws), parallel.Workers(cfg.Parallelism),
 		func(i int) ([]Row, error) { return workloadRows(cfg, suite, ws[i]) })
 	if err != nil {
 		return nil, err

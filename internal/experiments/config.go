@@ -10,13 +10,18 @@
 // # Concurrency
 //
 // The heavy runners fan out over Config.Parallelism workers (0 = one per
-// CPU): SuiteComparison and WarmupAblation across workloads, Table4 across
-// workloads within each variant, Confidence across runs, and the
-// simulator-bound runners additionally inherit the pipeline's per-segment
-// kernel parallelism. Every work unit derives its own seeds and constructs
-// its own method/profiler instances, and partial results are folded in
-// fixed unit order, so runner output is bit-identical for every
-// Parallelism value — pinned by the determinism regression tests.
+// CPU, counts above the CPU count clamped — parallel.Workers): the
+// per-workload fan-outs (SuiteComparison, WarmupAblation, Figure11, Table4
+// within each variant) use parallel.MapStealing, because workload costs are
+// heavily skewed — one HuggingFace workload outweighs many Rodinia ones —
+// and work stealing rebalances stragglers that static assignment would
+// serialize behind; Confidence fans out across uniform-cost runs on plain
+// parallel.Map. The simulator-bound runners additionally inherit the
+// pipeline's per-segment work-stealing kernel parallelism. Every work unit
+// derives its own seeds and constructs its own method/profiler instances,
+// and partial results are folded in fixed unit order, so runner output is
+// bit-identical for every Parallelism value — pinned by the determinism
+// regression tests. DESIGN.md §6 states the full concurrency architecture.
 package experiments
 
 import (

@@ -59,10 +59,12 @@ func dseWorkloads(cfg Config) []*trace.Workload {
 // reused unchanged across every variant — the paper's test of whether
 // sampling information survives microarchitectural change.
 //
-// Within each variant the workloads fan out over cfg.Parallelism workers
-// (each workload's full and sampled simulations are independent); partial
-// sums and Figure 12 bars are folded in workload order, so the result is
-// identical for every worker count.
+// Within each variant the workloads fan out over cfg.Parallelism workers on
+// the work-stealing scheduler (each workload's full and sampled simulations
+// are independent, and their costs are skewed enough that static assignment
+// would serialize the tail behind the biggest workload); partial sums and
+// Figure 12 bars are folded in workload order, so the result is identical
+// for every worker count.
 func Table4(cfg Config) (*Table4Result, error) {
 	lim := kernelgen.DSELimits()
 	ws := dseWorkloads(cfg)
@@ -87,7 +89,7 @@ func Table4(cfg Config) (*Table4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		partials, err := parallel.Map(len(ws), parallel.Workers(cfg.Parallelism),
+		partials, err := parallel.MapStealing(len(ws), parallel.Workers(cfg.Parallelism),
 			func(wi int) (wsResult, error) {
 				w := ws[wi]
 				part := wsResult{errSums: make(map[string]float64), counts: make(map[string]int)}

@@ -174,7 +174,8 @@ func fig11MaxCalls(cfg Config) int { return 3 * cfg.DSEMaxCalls }
 // evaluation. A segment cache (Config.Cache) additionally carries those
 // segments across processes; correctness never depends on it.
 //
-// Workloads fan out over cfg.Parallelism workers; per-workload outcomes are
+// Workloads fan out over cfg.Parallelism workers on the work-stealing
+// scheduler (CASIO workload costs are skewed); per-workload outcomes are
 // folded in (ε, workload, rep) order, so the result is identical for every
 // worker count.
 func Figure11(cfg Config) ([]Figure11Point, error) {
@@ -187,7 +188,7 @@ func Figure11(cfg Config) ([]Figure11Point, error) {
 
 	// Hoisted loop-invariant ground truth: one FullSim per workload, reused
 	// at every sweep point and repetition.
-	truths, err := parallel.Map(len(ws), parallel.Workers(cfg.Parallelism),
+	truths, err := parallel.MapStealing(len(ws), parallel.Workers(cfg.Parallelism),
 		func(i int) ([]float64, error) {
 			return pipeline.FullSimOpt(ws[i], gcfg, lim, cfg.serialSimOpts())
 		})
@@ -197,7 +198,7 @@ func Figure11(cfg Config) ([]Figure11Point, error) {
 
 	var out []Figure11Point
 	for _, eps := range Figure11Epsilons {
-		perWorkload, err := parallel.Map(len(ws), parallel.Workers(cfg.Parallelism),
+		perWorkload, err := parallel.MapStealing(len(ws), parallel.Workers(cfg.Parallelism),
 			func(i int) ([]sampling.Outcome, error) {
 				w := ws[i]
 				var outs []sampling.Outcome

@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"fmt"
+	"sync"
 
 	"stemroot/internal/kernelgen"
 	"stemroot/internal/parallel"
@@ -442,13 +443,15 @@ func (s *Simulator) RunSpecs(specs []*kernelgen.Spec) ([]KernelResult, float64) 
 const DefaultSegmentLen = 16
 
 // RunSegmented is the parallel variant of RunSpecs used by full-simulation
-// baselines: the spec sequence is cut into fixed-length segments, each
-// segment runs on its own fresh Simulator (so workers never share mutable
-// state), and results are collected by spec index. The segmentation depends
-// only on len(specs) and segLen — never on the worker count or scheduling —
-// so the output is bit-identical for every workers value, including the
-// serial workers == 1 path. segLen <= 0 selects DefaultSegmentLen;
-// workers <= 0 selects one worker per CPU.
+// baselines: the spec sequence is cut into fixed-length segments, segments
+// are executed by a work-stealing worker pool in which each worker owns one
+// warm Simulator (so workers never share mutable state), and results are
+// published in segment order. The segmentation depends only on len(specs)
+// and segLen — never on the worker count or scheduling — so the output is
+// bit-identical for every workers value, including the serial workers == 1
+// path. segLen <= 0 selects DefaultSegmentLen; workers <= 0 selects one
+// worker per CPU (and requests beyond the CPU count are clamped — see
+// parallel.Workers).
 //
 // The semantic difference from RunSpecs is that L2 state does not persist
 // across segment boundaries. This is the standard trace-level-parallelism
@@ -472,12 +475,86 @@ func RunSegmentedFunc(cfg Config, n int, specAt func(i int) kernelgen.Spec, segL
 	return RunSegmentedCached(cfg, n, specAt, segLen, workers, nil)
 }
 
+// segCommitter is the deterministic result-commit layer of RunSegmentedCached:
+// workers complete segments in whatever order the work-stealing scheduler
+// produces, hand each finished segment to commit, and the committer publishes
+// them in ascending segment order — copying cache-owned result slices into
+// the caller's results and folding the running cycle total in ascending
+// invocation order, exactly the order the serial path uses. Float addition
+// is not associative, so folding in completion order would make the total
+// depend on scheduling; publication order makes it a pure function of the
+// input. Out-of-order arrivals are buffered in pending until their turn;
+// in-order arrivals (always, on the serial path) publish immediately and
+// never touch the map, keeping steady-state segments allocation-free
+// (TestRunSegmentedCachedSteadyStateAllocs pins this).
+type segCommitter struct {
+	mu      sync.Mutex
+	next    int
+	total   float64
+	results []KernelResult
+	segLen  int
+	// pending buffers segments that arrived ahead of order, keyed by segment
+	// index. A nil value is a valid entry (uncached path: the worker already
+	// wrote the segment's window of results), so presence is the marker.
+	pending map[int][]KernelResult
+}
+
+// commit hands segment sg to the committer. seg == nil means the segment's
+// results already sit in their [sg*segLen, ...) window of c.results (the
+// uncached path writes windows directly — they are disjoint per segment, so
+// no two workers ever touch the same elements); a non-nil seg is a shared
+// cache-owned slice copied into the window at publication time, never
+// mutated in place.
+func (c *segCommitter) commit(sg int, seg []KernelResult) {
+	c.mu.Lock()
+	if sg != c.next {
+		if c.pending == nil {
+			c.pending = make(map[int][]KernelResult)
+		}
+		c.pending[sg] = seg
+		c.mu.Unlock()
+		return
+	}
+	for {
+		lo := sg * c.segLen
+		hi := lo + c.segLen
+		if hi > len(c.results) {
+			hi = len(c.results)
+		}
+		if seg != nil {
+			copy(c.results[lo:hi], seg)
+		}
+		for i := lo; i < hi; i++ {
+			c.total += c.results[i].Cycles
+		}
+		c.next++
+		var ok bool
+		if seg, ok = c.pending[c.next]; !ok {
+			break
+		}
+		delete(c.pending, c.next)
+		sg = c.next
+	}
+	c.mu.Unlock()
+}
+
 // RunSegmentedCached is RunSegmentedFunc with a content-addressed segment
 // cache consulted before each segment is simulated. Each segment's result is
 // a pure function of (EngineFingerprint, cfg, the segment's spec sequence) —
 // the basis of the SegmentKey — so a cache hit returns results bit-identical
 // to a fresh simulation, for every workers value. cache == nil disables
 // lookup and is exactly RunSegmentedFunc.
+//
+// Execution: segments are scheduled over parallel.ForEachStealing, so each
+// worker sweeps a contiguous ascending run of segments on its own warm
+// Simulator (constructed once, cold-Reset between segments — bit-identical
+// to a fresh New) and idle workers steal half the richest victim's remaining
+// segments, which rebalances adversarially skewed segment costs instead of
+// serializing them behind one worker. Finished segments flow through a
+// segCommitter that publishes them in segment order, so the returned results
+// and total are bit-identical for every workers value, including the serial
+// workers == 1 path (pinned by TestRunSegmentedStealingDeterministicSkewed
+// and the pipeline determinism tests).
 //
 // Cached result slices are shared between callers; results are copied into
 // the returned slice, never mutated in place.
@@ -511,16 +588,18 @@ func RunSegmentedCached(cfg Config, n int, specAt func(i int) kernelgen.Spec, se
 	}
 
 	results := make([]KernelResult, n)
+	committer := &segCommitter{results: results, segLen: segLen}
 	if cache == nil {
 		// Uncached: workers write each segment's results directly into the
 		// disjoint [lo, hi) window of the shared results slice — no
-		// per-segment slices, no reassembly copy. One spec scratch per
-		// WORKER (not per segment: a function-local scratch would escape
-		// into RunKernel and heap-allocate every call): RunKernel reads the
-		// spec only during the call (streams are reinitialized per kernel),
-		// so reusing the slot across a worker's segments is safe.
+		// per-segment slices, no publication copy (commit gets a nil seg and
+		// only folds the total in order). One spec scratch per WORKER (not
+		// per segment: a function-local scratch would escape into RunKernel
+		// and heap-allocate every call): RunKernel reads the spec only
+		// during the call (streams are reinitialized per kernel), so
+		// reusing the slot across a worker's segments is safe.
 		scratch := make([]kernelgen.Spec, nworkers)
-		parallel.ForEachWorker(nseg, nworkers, func(worker, sg int) {
+		parallel.ForEachStealing(nseg, nworkers, func(worker, sg int) {
 			sim := simFor(worker)
 			lo := sg * segLen
 			hi := lo + segLen
@@ -532,16 +611,18 @@ func RunSegmentedCached(cfg Config, n int, specAt func(i int) kernelgen.Spec, se
 				*spec = specAt(i)
 				results[i] = sim.RunKernel(spec)
 			}
+			committer.commit(sg, nil)
 		})
 	} else {
 		// Cached: materialize each segment's specs (bounded by segLen, so
 		// the working set stays one segment per worker), derive the content
 		// address, and only simulate on miss — on the worker's own reused
 		// simulator (GetOrCompute runs compute on the calling goroutine, so
-		// the simulator is never shared).
-		segments := make([][]KernelResult, nseg)
+		// the simulator is never shared). Hits and computed results alike
+		// are shared cache-owned slices: the committer copies them into
+		// results at publication, in segment order.
 		errs := make([]error, nseg)
-		parallel.ForEachWorker(nseg, nworkers, func(worker, sg int) {
+		parallel.ForEachStealing(nseg, nworkers, func(worker, sg int) {
 			lo := sg * segLen
 			hi := lo + segLen
 			if hi > n {
@@ -551,7 +632,7 @@ func RunSegmentedCached(cfg Config, n int, specAt func(i int) kernelgen.Spec, se
 			for i := lo; i < hi; i++ {
 				specs[i-lo] = specAt(i)
 			}
-			segments[sg], errs[sg] = cache.GetOrCompute(KeyForSegment(cfg, specs), func() ([]KernelResult, error) {
+			seg, err := cache.GetOrCompute(KeyForSegment(cfg, specs), func() ([]KernelResult, error) {
 				sim := simFor(worker)
 				out := make([]KernelResult, len(specs))
 				for i := range specs {
@@ -559,6 +640,8 @@ func RunSegmentedCached(cfg Config, n int, specAt func(i int) kernelgen.Spec, se
 				}
 				return out, nil
 			})
+			errs[sg] = err
+			committer.commit(sg, seg)
 		})
 		// Report the error of the lowest-indexed failing segment, matching
 		// parallel.Map's worker-count-independent error contract.
@@ -567,17 +650,8 @@ func RunSegmentedCached(cfg Config, n int, specAt func(i int) kernelgen.Spec, se
 				return nil, 0, err
 			}
 		}
-		// Cached result slices are shared between callers: copy, never
-		// alias.
-		for sg, seg := range segments {
-			copy(results[sg*segLen:], seg)
-		}
 	}
-	var total float64
-	for i := range results {
-		total += results[i].Cycles
-	}
-	return results, total, nil
+	return results, committer.total, nil
 }
 
 // String describes the configuration, useful in experiment logs.

@@ -17,10 +17,23 @@ func workerCounts() []int {
 	return []int{1, 2, runtime.NumCPU(), 2 * runtime.NumCPU()}
 }
 
+// unclampProcs raises GOMAXPROCS for the duration of a determinism test:
+// parallel.Workers clamps pool sizes to available processors, so on a 1-core
+// CI machine every workerCounts() entry would silently collapse to the
+// serial path and the cross-worker comparison would test nothing. Raising
+// GOMAXPROCS restores real concurrent workers (and real steals under the
+// work-stealing executor) regardless of the machine. Restored on cleanup.
+func unclampProcs(t *testing.T) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(8)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
 // TestFullSimDeterministicAcrossWorkers pins the tentpole contract: the
 // segmented parallel simulation is bit-identical at every worker count,
 // including the serial path.
 func TestFullSimDeterministicAcrossWorkers(t *testing.T) {
+	unclampProcs(t)
 	w := dseWorkload(t, "heartwall", 40)
 	cfg := gpu.Baseline()
 	lim := kernelgen.DSELimits()
@@ -47,6 +60,7 @@ func TestFullSimDeterministicAcrossWorkers(t *testing.T) {
 }
 
 func TestSampledSimDeterministicAcrossWorkers(t *testing.T) {
+	unclampProcs(t)
 	w := dseWorkload(t, "lud", 40)
 	cfg := gpu.Baseline()
 	lim := kernelgen.DSELimits()
@@ -78,6 +92,7 @@ func TestSampledSimDeterministicAcrossWorkers(t *testing.T) {
 // TestRunDeterministicAcrossWorkers runs the whole profile->plan->simulate->
 // estimate pipeline and compares every Outcome field bit for bit.
 func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	unclampProcs(t)
 	w := dseWorkload(t, "heartwall", 40)
 	cfg := gpu.Baseline()
 	lim := kernelgen.DSELimits()
@@ -106,6 +121,7 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 // different values may legally change cycle counts. The test only demands
 // each SegmentLen be self-consistent across worker counts.
 func TestSegmentLenSelfConsistent(t *testing.T) {
+	unclampProcs(t)
 	w := dseWorkload(t, "heartwall", 40)
 	cfg := gpu.Baseline()
 	lim := kernelgen.DSELimits()

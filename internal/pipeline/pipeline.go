@@ -9,17 +9,20 @@
 // The simulation passes (FullSim, SampledSim and their Opt variants) run
 // kernel invocations in parallel using deterministic fixed-length replay
 // segments: the invocation sequence is cut into segments of
-// Options.SegmentLen, each segment is simulated from cold simulator state
-// (the Simulator is not safe for concurrent use; each worker owns one
-// long-lived instance that gpu.Simulator.Reset cold-resets between
-// segments, bit-identical to a fresh gpu.New and allocation-free in
-// steady state), and cycle counts are collected by invocation index.
-// Because the segmentation depends only on the input — never on the worker
-// count or goroutine scheduling — results are bit-identical for every
-// Options.Workers value, including the serial workers == 1 path; the
-// determinism regression tests pin this. SampledSimWarm is inherently
-// sequential (it reconstructs L2 state by replaying predecessors) and stays
-// serial.
+// Options.SegmentLen, segments are executed by gpu.RunSegmentedCached's
+// work-stealing worker pool — each worker owns one long-lived Simulator
+// that gpu.Simulator.Reset cold-resets between segments, bit-identical to
+// a fresh gpu.New and allocation-free in steady state; idle workers steal
+// half the richest victim's remaining segments, so skewed segment costs
+// rebalance instead of serializing — and each segment starts from cold
+// simulator state, with cycle counts published in segment order by the
+// ordered-commit layer. Because segmentation and publication order depend
+// only on the input — never on the worker count or goroutine scheduling —
+// results are bit-identical for every Options.Workers value, including the
+// serial workers == 1 path; the determinism regression tests pin this.
+// SampledSimWarm is inherently sequential (it reconstructs L2 state by
+// replaying predecessors) and stays serial. DESIGN.md §6 is the
+// authoritative statement of the concurrency architecture.
 package pipeline
 
 import (
@@ -36,7 +39,10 @@ import (
 // The zero value uses one worker per CPU and gpu.DefaultSegmentLen.
 type Options struct {
 	// Workers is the number of simulation workers: 0 selects one per CPU,
-	// 1 forces the serial path (identical output, no goroutines).
+	// 1 forces the serial path (identical output, no goroutines), and
+	// values above the CPU count are clamped to it (parallel.Workers —
+	// oversubscribing a CPU-bound pool only adds interleave overhead, and
+	// by the determinism contract cannot change output).
 	Workers int
 	// SegmentLen is the replay-segment length; 0 selects
 	// gpu.DefaultSegmentLen. L2 state persists within a segment and is cold

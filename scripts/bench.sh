@@ -26,10 +26,19 @@
 # (PR 4's flat 1-D k-means + arena'd ROOT recursion), and — PR 5's
 # event-coalesced engine — FullSim/j1 AND RunKernel ns_per_op both
 # <= baseline_pr4/1.3 with RunKernel allocs_per_op still <= 2.
+#
+# Scaling section (PR 6): BenchmarkFullSim is a fixed j ∈ {1,2,4,8,16}
+# ladder, so every BENCH_PR*.json from PR 6 on carries the parallel speedup
+# curve of the work-stealing segment executor as a tracked artifact. The
+# scaling bar is machine-relative: FullSim/j4 must never be slower than
+# FullSim/j1 beyond timing noise (CI gates j4 <= j1 * 1.15). On an N-core
+# machine jmin(4,N) should approach min(4,N)x the j1 throughput; on the
+# 1-core CI container every rung clamps to one worker (parallel.Workers),
+# which is exactly what retires PR 5's j4-14%-slower-than-j1 regression.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-5}"
+PR="${PR:-6}"
 BENCHTIME="${1:-3x}"
 OUT="${2:-BENCH_PR${PR}.json}"
 RAW="${OUT%.json}.txt"
@@ -102,11 +111,48 @@ cat > "$OUT" <<EOF
     {"name": "PlanPhoton", "ns_per_op": 14464282, "bytes_per_op": 5387104, "allocs_per_op": 10231},
     {"name": "PlanPKA", "ns_per_op": 55958188, "bytes_per_op": 14505304, "allocs_per_op": 10541}
   ],
+  "baseline_pr5": [
+    {"name": "FullSim/j1", "ns_per_op": 311406732, "bytes_per_op": 773202, "allocs_per_op": 287},
+    {"name": "FullSim/j2", "ns_per_op": 316498806, "bytes_per_op": 1540026, "allocs_per_op": 571},
+    {"name": "FullSim/j4", "ns_per_op": 353744814, "bytes_per_op": 3073488, "allocs_per_op": 1131},
+    {"name": "FullSimCached/cold", "ns_per_op": 295320037, "bytes_per_op": 808712, "allocs_per_op": 516},
+    {"name": "FullSimCached/warm", "ns_per_op": 78705, "bytes_per_op": 32232, "allocs_per_op": 194},
+    {"name": "RunKernel", "ns_per_op": 9286617, "bytes_per_op": 0, "allocs_per_op": 0},
+    {"name": "BuildClusters/rodinia", "ns_per_op": 1478553, "bytes_per_op": 244893, "allocs_per_op": 87},
+    {"name": "BuildClusters/casio", "ns_per_op": 8457153, "bytes_per_op": 1266658, "allocs_per_op": 116},
+    {"name": "BuildClusters/hf", "ns_per_op": 44122617, "bytes_per_op": 7027757, "allocs_per_op": 92},
+    {"name": "StreamingPlan", "ns_per_op": 44514272, "bytes_per_op": 14081120, "allocs_per_op": 749},
+    {"name": "PlanPhoton", "ns_per_op": 14210057, "bytes_per_op": 5387104, "allocs_per_op": 10231},
+    {"name": "PlanPKA", "ns_per_op": 58903315, "bytes_per_op": 14505298, "allocs_per_op": 10541}
+  ],
   "benchmarks": [
 $(cat /tmp/bench_rows.$$)
   ]
 }
 EOF
 rm -f /tmp/bench_rows.$$
+
+# Scaling gate (PR 6): adding workers must never cost wall clock. FullSim/j4
+# has to land within timing noise of FullSim/j1 (or beat it, on multicore
+# machines); 1.15 is the noise allowance for single-iteration CI smokes.
+# Benchmark rows carry a -GOMAXPROCS suffix except when GOMAXPROCS is 1;
+# strip it before comparing names.
+ns_of() {
+  awk -v b="BenchmarkFullSim/$1" \
+    '{ name = $1; sub(/-[0-9]+$/, "", name); if (name == b) { print $3; exit } }' "$RAW"
+}
+j1="$(ns_of j1)"; j4="$(ns_of j4)"
+if [ -n "$j1" ] && [ -n "$j4" ]; then
+  awk -v j1="$j1" -v j4="$j4" 'BEGIN {
+    ratio = j4 / j1
+    if (ratio > 1.15) {
+      printf "bench.sh: scaling gate FAILED: FullSim/j4 = %.0f ns > FullSim/j1 = %.0f ns * 1.15 (ratio %.3f)\n", j4, j1, ratio
+      exit 1
+    }
+    printf "bench.sh: scaling gate ok: FullSim/j4 / FullSim/j1 = %.3f (must be <= 1.15)\n", ratio
+  }'
+else
+  echo "bench.sh: scaling gate skipped (FullSim j1/j4 rows not found in $RAW)" >&2
+fi
 
 echo "wrote $RAW and $OUT"
