@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"stemroot/internal/cachenet"
+	"stemroot/internal/gpu"
+)
+
+// TestRunServesAndShutsDown drives the binary's run loop end-to-end: bind
+// an ephemeral port, serve one put/get from a real client, deliver SIGTERM,
+// and check the stderr lifecycle lines.
+func TestRunServesAndShutsDown(t *testing.T) {
+	var stderr bytes.Buffer
+	sig := make(chan os.Signal, 1)
+	addrCh := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-maxmb", "64"}, &stderr, sig, func(a net.Addr) { addrCh <- a })
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not start listening")
+	}
+
+	client := cachenet.New(cachenet.ClientOptions{Addr: addr.String()})
+	key := gpu.SegmentKey{1, 2, 3}
+	want := []gpu.KernelResult{{Cycles: 42, Instructions: 7, L1HitRate: 0.5, L2HitRate: 0.25}}
+	client.Put(key, want, 1000)
+	var got []gpu.KernelResult
+	var ok bool
+	for i := 0; i < 100 && !ok; i++ { // puts are async; poll briefly
+		got, ok = client.Get(key)
+		if !ok {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !ok {
+		t.Fatal("put entry never became readable")
+	}
+	if len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	client.Close()
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down on SIGTERM")
+	}
+
+	out := stderr.String()
+	for _, want := range []string{"cacheserver: listening on", "shutting down", "puts=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stderr missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -8,12 +8,17 @@
 //
 // Simulator-bound experiments share a content-addressed segment-result
 // cache (internal/simcache): identical ground-truth segments are simulated
-// once per process, and with -cachedir once ever. Output is bit-identical
-// with and without the cache; -nocache disables it.
+// once per process, with -cachedir once per machine, and with -cacheaddr —
+// pointing at a running cmd/cacheserver — once per fleet: every run sharing
+// the server fetches overlapping segments in one batched round trip instead
+// of re-simulating them. Output is bit-identical with and without any cache
+// tier (a dead or corrupt server degrades to local behavior); -nocache
+// disables caching entirely, and the per-tier hit/miss/byte counters land on
+// stderr unless -cachestats=false.
 //
 // Experiment ids: table2, fig1, fig7, fig8, fig9, fig10, fig11, fig12,
-// fig13, fig14, table3, table4, table5, flush, kkt, rootk, root, warmup,
-// multigpu, confidence, all.
+// fig13, fig14, table3, table4 (alias: dse), table5, flush, kkt, rootk,
+// root, warmup, multigpu, confidence, all.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"stemroot/internal/cachenet"
 	"stemroot/internal/experiments"
 	"stemroot/internal/simcache"
 	"stemroot/internal/workloads"
@@ -41,8 +47,10 @@ func main() {
 	reps := flag.Int("reps", 0, "override repetitions (0 = scale default)")
 	jobs := flag.Int("j", 0, "worker count (0 = one per CPU, 1 = serial; results are identical)")
 	cacheDir := flag.String("cachedir", "", "persist segment results on disk in this directory (reused across runs)")
+	cacheAddr := flag.String("cacheaddr", "", "share segment results through the cacheserver at this address (host:port)")
 	cacheMB := flag.Int("cachemb", 0, "in-memory segment cache bound in MiB (0 = default 256)")
 	noCache := flag.Bool("nocache", false, "disable the segment-result cache entirely")
+	cacheStats := flag.Bool("cachestats", true, "print per-tier cache counters to stderr on exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
 	flag.Parse()
@@ -81,15 +89,33 @@ func main() {
 	// trade-off, only avoided re-simulation. Stats go to stderr so stdout
 	// stays byte-comparable across cached and uncached runs.
 	if !*noCache {
+		var client *cachenet.Client
+		var remote simcache.Remote
+		if *cacheAddr != "" {
+			client = cachenet.New(cachenet.ClientOptions{Addr: *cacheAddr})
+			remote = client
+		}
 		cache, err := simcache.New(simcache.Options{
 			MaxBytes: int64(*cacheMB) << 20,
 			Dir:      *cacheDir,
+			Remote:   remote,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		cfg.Cache = cache
-		defer func() { log.Printf("segment cache: %s", cache.Stats()) }()
+		defer func() {
+			// Close drains the pipelined write window, so segments this run
+			// computed are on the server before the process exits — the
+			// handoff that lets the next run start warm — and before the
+			// final counters are printed.
+			if client != nil {
+				client.Close()
+			}
+			if *cacheStats {
+				log.Printf("segment cache: %s", cache.Stats())
+			}
+		}()
 	}
 	if err := runExperiments(cfg, *run, os.Stdout); err != nil {
 		log.Fatal(err)
@@ -189,7 +215,7 @@ func runExperiments(cfg experiments.Config, run string, out io.Writer) error {
 			if pts, err = experiments.Figure11(cfg); err == nil {
 				rendered = experiments.RenderFigure11(pts)
 			}
-		case "table4":
+		case "table4", "dse":
 			var res *experiments.Table4Result
 			if res, err = table4(); err == nil {
 				rendered = res.Render()

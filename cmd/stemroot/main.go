@@ -8,10 +8,13 @@
 //	stemroot -profile traces/bert_infer.rtx2080.csv -epsilon 0.05
 //	stemroot -profile huge.csv -stream -o plan.json
 //	stemroot -profile trace.csv -simulate -cachedir ~/.cache/stemroot
+//	stemroot -profile trace.csv -simulate -cacheaddr cachehost:9736
 //
 // With -simulate, the plan is additionally validated on the cycle-level
 // simulator against a workload reconstructed from the profile; -cachedir
-// persists segment results so repeat validations skip the full simulation.
+// persists segment results so repeat validations skip the full simulation,
+// and -cacheaddr shares them through a cmd/cacheserver across machines and
+// concurrent runs.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"sort"
 
 	"stemroot"
+	"stemroot/internal/cachenet"
 	"stemroot/internal/core"
 	"stemroot/internal/gpu"
 	"stemroot/internal/hwmodel"
@@ -53,8 +57,10 @@ type cliConfig struct {
 	simulate    bool
 	simCalls    int
 	cacheDir    string
+	cacheAddr   string
 	cacheMB     int
 	noCache     bool
+	cacheStats  bool
 }
 
 func main() {
@@ -75,8 +81,10 @@ func main() {
 	flag.BoolVar(&cfg.simulate, "simulate", false, "validate the plan on the cycle-level simulator (synthetic workload reconstructed from the profile)")
 	flag.IntVar(&cfg.simCalls, "simcalls", 256, "cap on simulated invocations in -simulate mode")
 	flag.StringVar(&cfg.cacheDir, "cachedir", "", "persist -simulate segment results on disk in this directory (reused across runs)")
+	flag.StringVar(&cfg.cacheAddr, "cacheaddr", "", "share -simulate segment results through the cacheserver at this address (host:port)")
 	flag.IntVar(&cfg.cacheMB, "cachemb", 0, "in-memory segment cache bound in MiB (0 = default 256)")
 	flag.BoolVar(&cfg.noCache, "nocache", false, "disable the segment-result cache in -simulate mode")
+	flag.BoolVar(&cfg.cacheStats, "cachestats", true, "print per-tier cache counters to stderr after -simulate")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
 	flag.Parse()
@@ -234,11 +242,22 @@ func simulateProfile(cfg cliConfig, names []string, times []float64, out io.Writ
 
 	opts := pipeline.Options{Workers: cfg.jobs}
 	var sc *simcache.Cache
+	var client *cachenet.Client
 	if !cfg.noCache {
+		var remote simcache.Remote
+		if cfg.cacheAddr != "" {
+			client = cachenet.New(cachenet.ClientOptions{Addr: cfg.cacheAddr})
+			// Close drains the pipelined write window so this run's computed
+			// segments reach the server before the process exits. Idempotent:
+			// the stats path below closes earlier to finalize the counters.
+			defer client.Close()
+			remote = client
+		}
 		var err error
 		sc, err = simcache.New(simcache.Options{
 			MaxBytes: int64(cfg.cacheMB) << 20,
 			Dir:      cfg.cacheDir,
+			Remote:   remote,
 		})
 		if err != nil {
 			return err
@@ -269,9 +288,13 @@ func simulateProfile(cfg cliConfig, names []string, times []float64, out io.Writ
 	fmt.Fprintf(out, "  estimated cycles: %.4e\n", r.EstimateCycles)
 	fmt.Fprintf(out, "  measured error:   %.3f%% (bound %.2f)\n", r.Outcome.ErrorPct, cfg.epsilon)
 	fmt.Fprintf(out, "  sim speedup:      %.1fx\n", r.Outcome.Speedup)
-	if sc != nil {
-		// Stats go to stderr so stdout stays byte-comparable across cached
-		// and uncached runs.
+	if sc != nil && cfg.cacheStats {
+		// Drain the write window first so the counters are final; stats go
+		// to stderr so stdout stays byte-comparable across cached and
+		// uncached runs.
+		if client != nil {
+			client.Close()
+		}
 		log.Printf("segment cache: %s", sc.Stats())
 	}
 	return nil

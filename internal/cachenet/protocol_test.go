@@ -1,0 +1,199 @@
+package cachenet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"stemroot/internal/gpu"
+	"stemroot/internal/simcache"
+)
+
+// startServer runs a server on an ephemeral loopback port and tears it
+// down with the test.
+func startServer(t *testing.T, opts ServerOptions) (*Server, string) {
+	t.Helper()
+	srv := NewServer(opts)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close() })
+	return srv, lis.Addr().String()
+}
+
+// rawConn dials and handshakes a bare protocol connection.
+func rawConn(t *testing.T, addr string) (net.Conn, *bufio.Reader, *bufio.Writer) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	w := bufio.NewWriter(conn)
+	if err := writeHandshake(w); err != nil || w.Flush() != nil {
+		t.Fatal("handshake write failed")
+	}
+	return conn, bufio.NewReader(conn), w
+}
+
+func expectClosed(t *testing.T, conn net.Conn) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var one [1]byte
+	if _, err := conn.Read(one[:]); err != io.EOF {
+		t.Fatalf("want server to close connection, read returned %v", err)
+	}
+}
+
+func TestHandshakeRejectsBadMagic(t *testing.T) {
+	_, addr := startServer(t, ServerOptions{})
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("NOPE\x01\x00\x00\x00"))
+	expectClosed(t, conn)
+}
+
+func TestHandshakeRejectsWrongVersion(t *testing.T) {
+	_, addr := startServer(t, ServerOptions{})
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hs [handshakeSize]byte
+	copy(hs[:4], protoMagic)
+	binary.LittleEndian.PutUint32(hs[4:8], protoVersion+1)
+	conn.Write(hs[:])
+	expectClosed(t, conn)
+}
+
+// TestPutRejectsCorruptBlob pins the server-side trust gate: a Put whose
+// blob fails verification (here: one flipped payload bit, so the checksum
+// mismatches) is counted and discarded, never stored.
+func TestPutRejectsCorruptBlob(t *testing.T) {
+	srv, addr := startServer(t, ServerOptions{})
+	conn, _, w := rawConn(t, addr)
+
+	key := gpu.SegmentKey{0xaa}
+	blob := simcache.EncodeEntry(key, []gpu.KernelResult{{Cycles: 1}})
+	blob[50] ^= 1
+	var cost [8]byte
+	binary.LittleEndian.PutUint64(cost[:], 123)
+	if err := writeFrame(w, opPut, key[:], cost[:], blob); err != nil || w.Flush() != nil {
+		t.Fatal("put write failed")
+	}
+	// Put has no response; ask for stats to both sync and assert.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := srv.Stats()
+		if st.PutRejects == 1 && st.Puts == 0 && st.Entries == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("corrupt put not rejected: %s", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	conn.Close()
+}
+
+// TestPutRejectsMismatchedKey sends a valid blob under the wrong key — the
+// embedded-key check must reject it even though the checksum is intact.
+func TestPutRejectsMismatchedKey(t *testing.T) {
+	srv, addr := startServer(t, ServerOptions{})
+	conn, _, w := rawConn(t, addr)
+	defer conn.Close()
+
+	blob := simcache.EncodeEntry(gpu.SegmentKey{1}, []gpu.KernelResult{{Cycles: 1}})
+	wrong := gpu.SegmentKey{2}
+	var cost [8]byte
+	if err := writeFrame(w, opPut, wrong[:], cost[:], blob); err != nil || w.Flush() != nil {
+		t.Fatal("put write failed")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := srv.Stats()
+		if st.PutRejects == 1 && st.Entries == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mismatched-key put not rejected: %s", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestOversizeFrameClosesConnection(t *testing.T) {
+	_, addr := startServer(t, ServerOptions{})
+	conn, _, _ := rawConn(t, addr)
+	var hdr [frameHeader]byte
+	hdr[0] = opGet
+	binary.LittleEndian.PutUint32(hdr[1:5], maxFrameBytes+1)
+	conn.Write(hdr[:])
+	expectClosed(t, conn)
+}
+
+func TestMalformedBatchClosesConnection(t *testing.T) {
+	_, addr := startServer(t, ServerOptions{})
+	conn, _, w := rawConn(t, addr)
+	// Claims 3 keys, carries 1.
+	var req [4 + keySize]byte
+	binary.LittleEndian.PutUint32(req[0:4], 3)
+	if err := writeFrame(w, opBatchGet, req[:]); err != nil || w.Flush() != nil {
+		t.Fatal("batch write failed")
+	}
+	expectClosed(t, conn)
+}
+
+// TestCostAwareEviction pins the GDSF policy: under byte pressure in one
+// shard, cheap-to-recompute entries are evicted before an
+// expensive-to-recompute one of the same size, regardless of insertion
+// order.
+func TestCostAwareEviction(t *testing.T) {
+	// All keys share first byte 0 → one shard; budget 16 shards x 2 KiB.
+	srv := NewServer(ServerOptions{MaxBytes: 16 * 2048})
+	expensive := gpu.SegmentKey{0, 0xee}
+	results := []gpu.KernelResult{{Cycles: 1}}
+	srv.put(expensive, simcache.EncodeEntry(expensive, results), 1e12)
+	for i := 0; i < 40; i++ {
+		key := gpu.SegmentKey{0, byte(i)}
+		srv.put(key, simcache.EncodeEntry(key, results), 1)
+	}
+	if srv.evictions.Load() == 0 {
+		t.Fatal("no evictions under byte pressure")
+	}
+	if srv.get(expensive) == nil {
+		t.Fatal("expensive entry evicted while cheap entries churned")
+	}
+	// The oldest cheap entries must be gone.
+	if srv.get(gpu.SegmentKey{0, 0}) != nil && srv.get(gpu.SegmentKey{0, 1}) != nil {
+		t.Fatal("cheap entries survived pressure that should have evicted them")
+	}
+}
+
+// TestEvictionClockAges pins the aging half of GDSF: once the clock has
+// risen past an idle expensive entry's priority, fresh entries outrank it
+// and it can be evicted — cost does not pin bytes forever.
+func TestEvictionClockAges(t *testing.T) {
+	srv := NewServer(ServerOptions{MaxBytes: 16 * 1024})
+	results := []gpu.KernelResult{{Cycles: 1}}
+	old := gpu.SegmentKey{0, 0xcc}
+	srv.put(old, simcache.EncodeEntry(old, results), 5000)
+	// Churn much more expensive entries through the shard so the clock
+	// climbs above old's priority.
+	for i := 0; i < 200; i++ {
+		key := gpu.SegmentKey{0, byte(i), byte(i >> 8)}
+		srv.put(key, simcache.EncodeEntry(key, results), 1e12)
+	}
+	if srv.get(old) != nil {
+		t.Fatal("idle entry pinned forever by its one-time cost")
+	}
+}

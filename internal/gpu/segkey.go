@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
-	"hash"
 	"math"
 
 	"stemroot/internal/kernelgen"
@@ -47,20 +46,40 @@ type SegmentCache interface {
 	GetOrCompute(key SegmentKey, compute func() ([]KernelResult, error)) ([]KernelResult, error)
 }
 
-// keyHasher writes the canonical binary encoding of the key inputs into a
-// SHA-256. Every field is written in fixed order with fixed width, strings
-// as a length prefix plus bytes, floats as their IEEE-754 bit patterns, so
-// the encoding is injective and platform-independent.
-type keyHasher struct {
-	dig hash.Hash
-	st  [8]byte
+// BatchPrefetcher is an optional SegmentCache extension for caches with a
+// high-latency backing tier (a remote cache server — internal/cachenet).
+// RunSegmentedCached knows every segment key of a workload before any
+// segment executes, so when the cache wants it (WantPrefetch), the runner
+// derives all keys up front and announces them in one Prefetch call; the
+// cache can then resolve them against its backing tier in one batched round
+// trip instead of one per segment. Prefetch is a pure performance hint:
+// it must not change what subsequent GetOrCompute calls return, only where
+// the results come from.
+type BatchPrefetcher interface {
+	SegmentCache
+	// WantPrefetch reports whether Prefetch is worth the up-front key
+	// derivation (false when no batched backing tier is attached).
+	WantPrefetch() bool
+	// Prefetch announces the segment keys about to be requested, in
+	// segment order. It must be safe for concurrent use.
+	Prefetch(keys []SegmentKey)
 }
 
-func newKeyHasher() *keyHasher { return &keyHasher{dig: sha256.New()} }
+// keyHasher appends the canonical binary encoding of the key inputs to a
+// byte buffer that is hashed in one SHA-256 pass at the end. Every field is
+// written in fixed order with fixed width, strings as a length prefix plus
+// bytes, floats as their IEEE-754 bit patterns, so the encoding is injective
+// and platform-independent. Building the encoding in a flat buffer (instead
+// of streaming 8-byte words through a hash.Hash) lets the hot warm-replay
+// path reuse one caller-owned buffer across segments — no per-key hash-state
+// allocation, one contiguous Sum256 — while producing byte-identical input
+// and therefore the exact keys TestSegmentKeyGolden pins.
+type keyHasher struct {
+	buf []byte
+}
 
 func (kh *keyHasher) u64(v uint64) {
-	binary.LittleEndian.PutUint64(kh.st[:], v)
-	kh.dig.Write(kh.st[:])
+	kh.buf = binary.LittleEndian.AppendUint64(kh.buf, v)
 }
 
 func (kh *keyHasher) i64(v int64)   { kh.u64(uint64(v)) }
@@ -72,18 +91,16 @@ func (kh *keyHasher) boolean(v bool) {
 	if v {
 		b = 1
 	}
-	kh.dig.Write([]byte{b})
+	kh.buf = append(kh.buf, b)
 }
 
 func (kh *keyHasher) str(s string) {
 	kh.u64(uint64(len(s)))
-	kh.dig.Write([]byte(s))
+	kh.buf = append(kh.buf, s...)
 }
 
 func (kh *keyHasher) sum() SegmentKey {
-	var k SegmentKey
-	kh.dig.Sum(k[:0])
-	return k
+	return SegmentKey(sha256.Sum256(kh.buf))
 }
 
 // writeConfig hashes every Config field. TestSegmentKeyCoversConfig keeps
@@ -145,12 +162,22 @@ func (kh *keyHasher) writeSpec(s *kernelgen.Spec) {
 // construction — a different SegmentLen produces different spec sequences
 // per segment and therefore different keys.
 func KeyForSegment(cfg Config, specs []kernelgen.Spec) SegmentKey {
-	kh := newKeyHasher()
+	k, _ := KeyForSegmentAppend(nil, cfg, specs)
+	return k
+}
+
+// KeyForSegmentAppend is KeyForSegment with a caller-owned scratch buffer:
+// the canonical encoding is appended to buf[:0] and the (possibly grown)
+// buffer is returned for reuse, so a worker deriving keys for segment after
+// segment allocates only until its buffer reaches steady-state capacity.
+// The derived key is identical to KeyForSegment's.
+func KeyForSegmentAppend(buf []byte, cfg Config, specs []kernelgen.Spec) (SegmentKey, []byte) {
+	kh := keyHasher{buf: buf[:0]}
 	kh.str(EngineFingerprint)
 	kh.writeConfig(&cfg)
 	kh.u64(uint64(len(specs)))
 	for i := range specs {
 		kh.writeSpec(&specs[i])
 	}
-	return kh.sum()
+	return kh.sum(), kh.buf
 }

@@ -538,6 +538,54 @@ func (c *segCommitter) commit(sg int, seg []KernelResult) {
 	c.mu.Unlock()
 }
 
+// segScratch is one worker's reusable buffers for the cached execution
+// path: the materialized specs of the segment in flight and the canonical
+// key encoding (KeyForSegmentAppend). Both reach steady-state capacity
+// after the first segment, so warm-replay segments allocate nothing here.
+type segScratch struct {
+	specs  []kernelgen.Spec
+	keyBuf []byte
+}
+
+// segmentKey materializes segment sg's specs into the scratch and derives
+// its content address. The returned spec slice aliases the scratch and is
+// valid until the next call on the same scratch.
+func (sc *segScratch) segmentKey(cfg Config, n, sg, segLen int, specAt func(i int) kernelgen.Spec) (SegmentKey, []kernelgen.Spec) {
+	lo := sg * segLen
+	hi := lo + segLen
+	if hi > n {
+		hi = n
+	}
+	specs := sc.specs[:0]
+	for i := lo; i < hi; i++ {
+		specs = append(specs, specAt(i))
+	}
+	sc.specs = specs
+	var key SegmentKey
+	key, sc.keyBuf = KeyForSegmentAppend(sc.keyBuf, cfg, specs)
+	return key, specs
+}
+
+// segmentKeyCached is segmentKey reusing a precomputed key when the prefetch
+// pass already derived it (keys non-nil); the specs are still materialized —
+// the compute-on-miss closure needs them.
+func (sc *segScratch) segmentKeyCached(cfg Config, n, sg, segLen int, specAt func(i int) kernelgen.Spec, keys []SegmentKey) (SegmentKey, []kernelgen.Spec) {
+	if keys == nil {
+		return sc.segmentKey(cfg, n, sg, segLen, specAt)
+	}
+	lo := sg * segLen
+	hi := lo + segLen
+	if hi > n {
+		hi = n
+	}
+	specs := sc.specs[:0]
+	for i := lo; i < hi; i++ {
+		specs = append(specs, specAt(i))
+	}
+	sc.specs = specs
+	return keys[sg], specs
+}
+
 // RunSegmentedCached is RunSegmentedFunc with a content-addressed segment
 // cache consulted before each segment is simulated. Each segment's result is
 // a pure function of (EngineFingerprint, cfg, the segment's spec sequence) —
@@ -620,19 +668,36 @@ func RunSegmentedCached(cfg Config, n int, specAt func(i int) kernelgen.Spec, se
 		// simulator (GetOrCompute runs compute on the calling goroutine, so
 		// the simulator is never shared). Hits and computed results alike
 		// are shared cache-owned slices: the committer copies them into
-		// results at publication, in segment order.
+		// results at publication, in segment order. Spec and key-encoding
+		// scratch is per WORKER and reused across all segments the worker
+		// executes: on a warm replay the per-segment work is only key
+		// derivation plus a copy, so per-segment allocations — not
+		// simulation — would dominate (the PR 6 warm-replay drift).
+		scratch := make([]segScratch, nworkers)
+
+		// Batched key prefetch: when the cache has a batched backing tier
+		// (BatchPrefetcher, e.g. simcache with a cachenet remote), derive
+		// every segment key up front — the pipeline knows the whole spec
+		// sequence — and announce them in one call, so the remote tier is
+		// consulted in one round trip for the entire workload instead of
+		// once per segment. The precomputed keys are then reused by the
+		// workers below; key derivation is a pure function of the input,
+		// so results are unchanged.
+		var keys []SegmentKey
+		if bp, ok := cache.(BatchPrefetcher); ok && bp.WantPrefetch() {
+			keys = make([]SegmentKey, nseg)
+			sc := &scratch[0]
+			for sg := 0; sg < nseg; sg++ {
+				keys[sg], _ = sc.segmentKey(cfg, n, sg, segLen, specAt)
+			}
+			bp.Prefetch(keys)
+		}
+
 		errs := make([]error, nseg)
 		parallel.ForEachStealing(nseg, nworkers, func(worker, sg int) {
-			lo := sg * segLen
-			hi := lo + segLen
-			if hi > n {
-				hi = n
-			}
-			specs := make([]kernelgen.Spec, hi-lo)
-			for i := lo; i < hi; i++ {
-				specs[i-lo] = specAt(i)
-			}
-			seg, err := cache.GetOrCompute(KeyForSegment(cfg, specs), func() ([]KernelResult, error) {
+			sc := &scratch[worker]
+			key, specs := sc.segmentKeyCached(cfg, n, sg, segLen, specAt, keys)
+			seg, err := cache.GetOrCompute(key, func() ([]KernelResult, error) {
 				sim := simFor(worker)
 				out := make([]KernelResult, len(specs))
 				for i := range specs {

@@ -10,7 +10,9 @@ import (
 	"stemroot/internal/gpu"
 )
 
-// On-disk entry format (all integers little-endian):
+// Entry wire format (all integers little-endian), shared verbatim by the
+// on-disk tier and the cachenet network protocol — one encoder, one
+// verifier, one trust model:
 //
 //	offset  size  field
 //	0       4     magic "SRSC"
@@ -23,9 +25,10 @@ import (
 // The key embeds the engine fingerprint (gpu.KeyForSegment), so entries from
 // a different engine version are unreachable by name; the embedded key and
 // trailing checksum additionally reject renamed, truncated, or bit-rotted
-// files. Every verification failure is a silent miss — the segment is
-// simulated instead — never an error: the disk tier is an accelerator, not
-// a source of truth.
+// files — and, on the network path, corrupted or mismatched frames. Every
+// verification failure is a silent miss — the segment is simulated instead —
+// never an error: the disk and remote tiers are accelerators, not sources of
+// truth.
 
 const (
 	diskMagic         = "SRSC"
@@ -34,10 +37,11 @@ const (
 	resultWireSize    = 32 // 4 fields x 8 bytes per gpu.KernelResult
 )
 
-// maxDiskEntryBytes rejects absurd result counts before allocating: the
-// largest legitimate segment is far below this (segments are a few dozen
-// kernels), so anything bigger is corruption.
-const maxDiskEntryBytes = 64 << 20
+// MaxEntryBytes rejects absurd result counts before allocating: the largest
+// legitimate segment is far below this (segments are a few dozen kernels),
+// so anything bigger is corruption. Exported so the cachenet frame decoder
+// applies the same bound.
+const MaxEntryBytes = 64 << 20
 
 func ensureDir(dir string) error { return os.MkdirAll(dir, 0o755) }
 
@@ -48,8 +52,10 @@ func (c *Cache) diskPath(key gpu.SegmentKey) string {
 	return filepath.Join(c.dir, name[:2], name[2:])
 }
 
-// encodeEntry serializes results for key, checksum included.
-func encodeEntry(key gpu.SegmentKey, results []gpu.KernelResult) []byte {
+// EncodeEntry serializes results for key in the checksummed entry wire
+// format above. It is the single encoder behind both the disk tier and the
+// cachenet protocol.
+func EncodeEntry(key gpu.SegmentKey, results []gpu.KernelResult) []byte {
 	n := len(results)
 	buf := make([]byte, diskHeaderSize+n*resultWireSize+sha256.Size)
 	copy(buf[0:4], diskMagic)
@@ -70,35 +76,57 @@ func encodeEntry(key gpu.SegmentKey, results []gpu.KernelResult) []byte {
 	return buf
 }
 
-// decodeEntry verifies and deserializes a disk entry; ok is false on any
-// mismatch (magic, version, key, length, checksum).
-func decodeEntry(key gpu.SegmentKey, buf []byte) (results []gpu.KernelResult, ok bool) {
+// verifyEntry runs every structural and integrity check on an encoded entry
+// — magic, version, embedded key, length, checksum — without materializing
+// results. It returns the result count on success.
+func verifyEntry(key gpu.SegmentKey, buf []byte) (n int, ok bool) {
 	if len(buf) < diskHeaderSize+sha256.Size {
-		return nil, false
+		return 0, false
 	}
 	if string(buf[0:4]) != diskMagic {
-		return nil, false
+		return 0, false
 	}
 	if binary.LittleEndian.Uint32(buf[4:8]) != diskFormatVersion {
-		return nil, false
+		return 0, false
 	}
 	var embedded gpu.SegmentKey
 	copy(embedded[:], buf[8:40])
 	if embedded != key {
-		return nil, false
+		return 0, false
 	}
-	n := binary.LittleEndian.Uint64(buf[40:48])
-	if n > maxDiskEntryBytes/resultWireSize {
-		return nil, false
+	count := binary.LittleEndian.Uint64(buf[40:48])
+	if count > MaxEntryBytes/resultWireSize {
+		return 0, false
 	}
-	payloadEnd := diskHeaderSize + int(n)*resultWireSize
+	payloadEnd := diskHeaderSize + int(count)*resultWireSize
 	if len(buf) != payloadEnd+sha256.Size {
-		return nil, false
+		return 0, false
 	}
 	sum := sha256.Sum256(buf[:payloadEnd])
 	var stored [sha256.Size]byte
 	copy(stored[:], buf[payloadEnd:])
 	if stored != sum {
+		return 0, false
+	}
+	return int(count), true
+}
+
+// VerifyEntry reports whether buf is a well-formed, checksummed entry for
+// key, without decoding the payload. The cache server applies this on Put so
+// a client bug cannot poison the shared pool; readers still re-verify with
+// DecodeEntry before trusting anything.
+func VerifyEntry(key gpu.SegmentKey, buf []byte) bool {
+	_, ok := verifyEntry(key, buf)
+	return ok
+}
+
+// DecodeEntry verifies and deserializes an encoded entry; ok is false on any
+// mismatch (magic, version, key, length, checksum). This is the
+// discard-never-trust gate every tier shares: a false return degrades to a
+// simulation, never to a wrong result.
+func DecodeEntry(key gpu.SegmentKey, buf []byte) (results []gpu.KernelResult, ok bool) {
+	n, ok := verifyEntry(key, buf)
+	if !ok {
 		return nil, false
 	}
 	results = make([]gpu.KernelResult, n)
@@ -124,7 +152,7 @@ func (c *Cache) readDisk(key gpu.SegmentKey) ([]gpu.KernelResult, bool) {
 	if err != nil {
 		return nil, false
 	}
-	results, ok := decodeEntry(key, buf)
+	results, ok := DecodeEntry(key, buf)
 	if !ok {
 		c.diskErrors.Add(1)
 		os.Remove(path) // quarantine-by-deletion; next compute rewrites it
@@ -133,10 +161,14 @@ func (c *Cache) readDisk(key gpu.SegmentKey) ([]gpu.KernelResult, bool) {
 	return results, true
 }
 
-// writeDisk persists an entry atomically: write to a temp file in the same
-// directory, then rename over the final name so readers never observe a
-// partial entry. All failures are silently dropped — the disk tier is
-// best-effort.
+// writeDisk persists an entry atomically and durably: write to a temp file
+// in the same directory, fsync it, rename over the final name, then fsync
+// the parent directory. Without the fsyncs, a crash shortly after the rename
+// could leave the final name pointing at data pages that never reached the
+// platter — a torn entry whose detection would rest solely on checksum
+// rejection; the fsync ordering guarantees any file visible under the final
+// name has its full verified content. All failures are silently dropped —
+// the disk tier is best-effort.
 func (c *Cache) writeDisk(key gpu.SegmentKey, results []gpu.KernelResult) {
 	path := c.diskPath(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -146,8 +178,13 @@ func (c *Cache) writeDisk(key gpu.SegmentKey, results []gpu.KernelResult) {
 	if err != nil {
 		return
 	}
-	buf := encodeEntry(key, results)
+	buf := EncodeEntry(key, results)
 	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return
@@ -158,5 +195,12 @@ func (c *Cache) writeDisk(key gpu.SegmentKey, results []gpu.KernelResult) {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
+		return
+	}
+	// Durable rename: fsync the directory holding the entry so the name →
+	// inode link itself survives a crash.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
 	}
 }

@@ -7,12 +7,20 @@
 // and the determinism contract from the parallel/arena work is what makes
 // the substitution safe.
 //
-// The cache has two tiers. A sharded in-memory LRU bounded by bytes serves
-// repeated segments within a process (ε-sweep points, repetitions, DSE
-// variants sharing ground truth). An optional on-disk store (Options.Dir)
-// persists entries across processes with versioned, checksummed records that
-// are discarded — never trusted — on any mismatch; a corrupt or truncated
-// entry degrades to a simulation, not an error.
+// The cache has up to three tiers, consulted nearest first. A sharded
+// in-memory LRU bounded by bytes serves repeated segments within a process
+// (ε-sweep points, repetitions, DSE variants sharing ground truth). An
+// optional on-disk store (Options.Dir) persists entries across processes
+// with versioned, checksummed records that are discarded — never trusted —
+// on any mismatch; a corrupt or truncated entry degrades to a simulation,
+// not an error. An optional remote tier (Options.Remote, implemented by
+// internal/cachenet's client) shares one ground-truth pool across machines
+// and concurrent runs: lookups miss through memory and disk to the remote
+// server, fresh computations are written back to every tier, and the same
+// discard-never-trust verification applies to every byte that crosses the
+// wire. The memory tier doubles as the remote client's local hot tier —
+// once an entry has been fetched (or batch-prefetched, see Prefetch) a
+// repeat hit never touches the network.
 //
 // # Concurrency
 //
@@ -27,6 +35,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"stemroot/internal/gpu"
 )
@@ -43,6 +52,52 @@ const DefaultMaxBytes = 256 << 20
 // worker counts the pipeline uses.
 const shardCount = 16
 
+// Remote is the third cache tier: a shared result pool behind the local
+// memory and disk tiers, typically a cachenet client talking to a
+// cmd/cacheserver instance shared by a fleet of experiment runs. Every
+// method is best-effort and must never block a simulation on a sick server:
+// a timeout, connection failure, or verification mismatch is a miss (or a
+// dropped write), and the caller degrades to simulating locally —
+// identical results, only slower. Implementations must be safe for
+// concurrent use and must verify entries (embedded key + checksum) before
+// returning them.
+type Remote interface {
+	// Get fetches one verified entry; ok is false on miss or any failure.
+	Get(key gpu.SegmentKey) (results []gpu.KernelResult, ok bool)
+	// BatchGet fetches many keys in one round trip; out[i] is nil when
+	// keys[i] missed (or on any failure). len(out) == len(keys).
+	BatchGet(keys []gpu.SegmentKey) [][]gpu.KernelResult
+	// Put stores an entry together with its recompute cost in nanoseconds
+	// (the measured simulation time), the weight cost-aware eviction uses
+	// to keep expensive-to-recompute entries alive. May be asynchronous.
+	Put(key gpu.SegmentKey, results []gpu.KernelResult, costNs int64)
+	// WantBatch reports whether BatchGet amortizes round trips (false for
+	// degraded or deliberately unbatched clients); it gates the up-front
+	// key derivation of gpu.RunSegmentedCached's prefetch pass.
+	WantBatch() bool
+	// Stats snapshots the client's wire-level counters.
+	Stats() RemoteStats
+}
+
+// RemoteStats are the wire-level counters of a Remote implementation,
+// surfaced through Cache.Stats so one -cachestats summary covers every tier.
+type RemoteStats struct {
+	// Gets/Hits count single-key lookups and how many returned an entry;
+	// BatchGets/BatchKeys/BatchHits the batched equivalent (one BatchGet
+	// carries BatchKeys keys).
+	Gets, Hits, BatchGets, BatchKeys, BatchHits uint64
+	// Puts counts entries queued for write-back; PutDrops those discarded
+	// because the pipelined write window was full or the server was down.
+	Puts, PutDrops uint64
+	// Errors counts I/O, protocol, and verification failures — each one
+	// degraded to a miss or a dropped write, never an error.
+	Errors uint64
+	// BytesRead/BytesWritten count entry payload bytes over the wire.
+	BytesRead, BytesWritten uint64
+	// InFlight is the current depth of the pipelined write queue.
+	InFlight int64
+}
+
 // Options configure New.
 type Options struct {
 	// MaxBytes bounds the in-memory tier (approximate, counting payload plus
@@ -52,15 +107,22 @@ type Options struct {
 	// Dir enables the on-disk tier in this directory (created if missing).
 	// Empty disables it.
 	Dir string
+	// Remote attaches a shared remote tier behind memory and disk (see
+	// Remote; internal/cachenet's Client is the canonical implementation).
+	// nil disables it.
+	Remote Remote
 }
 
-// Stats is a point-in-time snapshot of the cache counters.
+// Stats is a point-in-time snapshot of the cache counters across all tiers.
 type Stats struct {
-	// Hits counts GetOrCompute calls served without simulating: memory hits,
-	// disk hits, and singleflight followers that shared a leader's result.
+	// Hits counts GetOrCompute calls served without simulating: memory,
+	// disk, and remote hits, and singleflight followers that shared a
+	// leader's result.
 	Hits uint64
-	// MemHits / DiskHits / Shared break Hits down by source.
-	MemHits, DiskHits, Shared uint64
+	// MemHits / DiskHits / RemoteHits / Shared break Hits down by source.
+	// RemoteHits also counts entries a Prefetch batch pulled into the
+	// memory tier (they surface as MemHits at access time).
+	MemHits, DiskHits, RemoteHits, Shared uint64
 	// Misses counts calls that ran the compute function.
 	Misses uint64
 	// Evictions counts entries dropped by the LRU byte bound.
@@ -71,16 +133,35 @@ type Stats struct {
 	// DiskErrors counts on-disk entries discarded for checksum, version, or
 	// format mismatches (each degraded to a simulation).
 	DiskErrors uint64
+	// Prefetches / PrefetchKeys count batched remote lookups issued by the
+	// segment runner's prefetch pass and the keys they carried.
+	Prefetches, PrefetchKeys uint64
+	// HasRemote reports whether a remote tier is attached; Remote then
+	// holds its wire-level counters.
+	HasRemote bool
+	Remote    RemoteStats
 }
 
-// Cache implements gpu.SegmentCache. See the package documentation.
+// Cache implements gpu.SegmentCache (and gpu.BatchPrefetcher when a remote
+// tier is attached). See the package documentation.
 type Cache struct {
 	shards   [shardCount]shard
 	maxShard int64 // per-shard byte bound; <0 = unbounded
 	dir      string
+	remote   Remote
 
 	hits, memHits, diskHits, shared atomic.Uint64
 	misses, evictions, diskErrors   atomic.Uint64
+	remoteHits                      atomic.Uint64
+	prefetches, prefetchKeys        atomic.Uint64
+
+	// prefetchMissed remembers keys the last Prefetch batches could not
+	// resolve remotely, so the per-segment miss path skips a pointless
+	// second round trip for them (gpu.RunSegmentedCached prefetches exactly
+	// the keys it is about to request). Entries are consumed — removed — by
+	// the first load that sees them, so the set stays bounded by the
+	// in-flight workloads' segment counts.
+	prefetchMissed sync.Map // gpu.SegmentKey -> struct{}
 }
 
 // entry is one cached segment result, linked into its shard's LRU ring.
@@ -113,7 +194,7 @@ type shard struct {
 // New builds a cache. The returned error is non-nil only when the disk tier
 // is requested but its directory cannot be created.
 func New(opts Options) (*Cache, error) {
-	c := &Cache{dir: opts.Dir}
+	c := &Cache{dir: opts.Dir, remote: opts.Remote}
 	switch {
 	case opts.MaxBytes == 0:
 		c.maxShard = DefaultMaxBytes / shardCount
@@ -175,9 +256,10 @@ func (c *Cache) GetOrCompute(key gpu.SegmentKey, compute func() ([]gpu.KernelRes
 	sh.inflight[key] = cl
 	sh.mu.Unlock()
 
-	// Leader path: disk tier first, then compute. The in-flight entry is
-	// removed on every exit so a failed compute can be retried later.
-	results, fromDisk, err := c.load(key, compute)
+	// Leader path: disk tier, then remote, then compute. The in-flight
+	// entry is removed on every exit so a failed compute can be retried
+	// later.
+	results, src, err := c.load(key, compute)
 	cl.results, cl.err = results, err
 
 	sh.mu.Lock()
@@ -191,31 +273,122 @@ func (c *Cache) GetOrCompute(key gpu.SegmentKey, compute func() ([]gpu.KernelRes
 	if err != nil {
 		return nil, err
 	}
-	if fromDisk {
+	switch src {
+	case srcDisk:
 		c.hits.Add(1)
 		c.diskHits.Add(1)
-	} else {
+	case srcRemote:
+		c.hits.Add(1)
+		c.remoteHits.Add(1)
+	default:
 		c.misses.Add(1)
 	}
 	return results, nil
 }
 
-// load resolves a miss: disk tier (if enabled), then compute; a fresh
-// computation is written back to disk best-effort.
-func (c *Cache) load(key gpu.SegmentKey, compute func() ([]gpu.KernelResult, error)) (results []gpu.KernelResult, fromDisk bool, err error) {
+// loadSource says which tier resolved a leader's load.
+type loadSource int
+
+const (
+	srcCompute loadSource = iota
+	srcDisk
+	srcRemote
+)
+
+// load resolves a miss tier by tier: disk (if enabled), then the remote
+// server (if attached), then compute. A fresh computation is written back
+// to every outer tier best-effort, carrying its measured simulation time so
+// the server's cost-aware eviction can weight the entry by what it saves.
+// Remote hits are also replicated to disk: a later run on this machine then
+// survives a dead server with warm local state.
+func (c *Cache) load(key gpu.SegmentKey, compute func() ([]gpu.KernelResult, error)) (results []gpu.KernelResult, src loadSource, err error) {
 	if c.dir != "" {
 		if results, ok := c.readDisk(key); ok {
-			return results, true, nil
+			return results, srcDisk, nil
 		}
 	}
+	if c.remote != nil {
+		// Skip the wire when a just-issued Prefetch already learned this
+		// key is absent remotely; the entry is consumed so later calls
+		// (after someone else may have stored it) ask again.
+		if _, missed := c.prefetchMissed.LoadAndDelete(key); !missed {
+			if results, ok := c.remote.Get(key); ok {
+				if c.dir != "" {
+					c.writeDisk(key, results)
+				}
+				return results, srcRemote, nil
+			}
+		}
+	}
+	start := time.Now()
 	results, err = compute()
 	if err != nil {
-		return nil, false, err
+		return nil, srcCompute, err
 	}
+	costNs := time.Since(start).Nanoseconds()
 	if c.dir != "" {
 		c.writeDisk(key, results) // best-effort; failures only cost reuse
 	}
-	return results, false, nil
+	if c.remote != nil {
+		c.remote.Put(key, results, costNs)
+	}
+	return results, srcCompute, nil
+}
+
+// WantPrefetch implements gpu.BatchPrefetcher: up-front key derivation pays
+// off only when a batched remote tier can turn the keys into one round trip.
+func (c *Cache) WantPrefetch() bool {
+	return c.remote != nil && c.remote.WantBatch()
+}
+
+// Prefetch implements gpu.BatchPrefetcher: it resolves the announced keys
+// against the remote tier in one BatchGet, seeding the in-memory tier with
+// every hit so the per-segment lookups that follow stay local. Keys already
+// resident in memory are filtered out first, and keys the batch could not
+// resolve are remembered so the per-segment miss path skips a second round
+// trip for them. Purely a performance hint: results of subsequent
+// GetOrCompute calls are unchanged.
+func (c *Cache) Prefetch(keys []gpu.SegmentKey) {
+	if c.remote == nil || len(keys) == 0 {
+		return
+	}
+	// Filter out keys that are already local (or duplicated in the batch —
+	// identical segments share one content address).
+	need := make([]gpu.SegmentKey, 0, len(keys))
+	seen := make(map[gpu.SegmentKey]struct{}, len(keys))
+	for _, key := range keys {
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		sh := c.shardFor(key)
+		sh.mu.Lock()
+		_, resident := sh.items[key]
+		sh.mu.Unlock()
+		if !resident {
+			need = append(need, key)
+		}
+	}
+	if len(need) == 0 {
+		return
+	}
+	c.prefetches.Add(1)
+	c.prefetchKeys.Add(uint64(len(need)))
+	got := c.remote.BatchGet(need)
+	for i, results := range got {
+		if results == nil {
+			c.prefetchMissed.Store(need[i], struct{}{})
+			continue
+		}
+		c.remoteHits.Add(1)
+		if c.dir != "" {
+			c.writeDisk(need[i], results)
+		}
+		sh := c.shardFor(need[i])
+		sh.mu.Lock()
+		sh.insert(need[i], results, c.maxShard, &c.evictions)
+		sh.mu.Unlock()
+	}
 }
 
 // insert adds a computed entry and enforces the byte bound. Caller holds
@@ -275,23 +448,36 @@ func (sh *shard) moveToFront(e *entry) {
 }
 
 // String renders the snapshot as a stable single-line key=value list, the
-// format the CLIs print and CI smoke checks parse.
+// format the CLIs print under -cachestats and CI smoke checks parse. The
+// remote block is appended only when a remote tier is attached, so the
+// local-only format is unchanged from earlier PRs.
 func (s Stats) String() string {
-	return fmt.Sprintf(
-		"hits=%d (mem=%d disk=%d shared=%d) misses=%d entries=%d bytes=%d evictions=%d disk_errors=%d",
-		s.Hits, s.MemHits, s.DiskHits, s.Shared, s.Misses, s.Entries, s.Bytes, s.Evictions, s.DiskErrors)
+	base := fmt.Sprintf(
+		"hits=%d (mem=%d disk=%d remote=%d shared=%d) misses=%d entries=%d bytes=%d evictions=%d disk_errors=%d",
+		s.Hits, s.MemHits, s.DiskHits, s.RemoteHits, s.Shared, s.Misses, s.Entries, s.Bytes, s.Evictions, s.DiskErrors)
+	if !s.HasRemote {
+		return base
+	}
+	r := s.Remote
+	return base + fmt.Sprintf(
+		" | remote: prefetches=%d prefetch_keys=%d gets=%d get_hits=%d batch_gets=%d batch_keys=%d batch_hits=%d puts=%d put_drops=%d errors=%d bytes_rx=%d bytes_tx=%d in_flight=%d",
+		s.Prefetches, s.PrefetchKeys, r.Gets, r.Hits, r.BatchGets, r.BatchKeys, r.BatchHits,
+		r.Puts, r.PutDrops, r.Errors, r.BytesRead, r.BytesWritten, r.InFlight)
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters of every tier.
 func (c *Cache) Stats() Stats {
 	s := Stats{
-		Hits:       c.hits.Load(),
-		MemHits:    c.memHits.Load(),
-		DiskHits:   c.diskHits.Load(),
-		Shared:     c.shared.Load(),
-		Misses:     c.misses.Load(),
-		Evictions:  c.evictions.Load(),
-		DiskErrors: c.diskErrors.Load(),
+		Hits:         c.hits.Load(),
+		MemHits:      c.memHits.Load(),
+		DiskHits:     c.diskHits.Load(),
+		RemoteHits:   c.remoteHits.Load(),
+		Shared:       c.shared.Load(),
+		Misses:       c.misses.Load(),
+		Evictions:    c.evictions.Load(),
+		DiskErrors:   c.diskErrors.Load(),
+		Prefetches:   c.prefetches.Load(),
+		PrefetchKeys: c.prefetchKeys.Load(),
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -299,6 +485,10 @@ func (c *Cache) Stats() Stats {
 		s.Bytes += sh.bytes
 		s.Entries += len(sh.items)
 		sh.mu.Unlock()
+	}
+	if c.remote != nil {
+		s.HasRemote = true
+		s.Remote = c.remote.Stats()
 	}
 	return s
 }

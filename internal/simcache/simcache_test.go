@@ -233,7 +233,7 @@ func TestDiskRoundTrip(t *testing.T) {
 func TestDiskCorruption(t *testing.T) {
 	key := testKey(5, 5)
 	want := testResults(4, 3.25)
-	good := encodeEntry(key, want)
+	good := EncodeEntry(key, want)
 
 	corruptions := map[string]func([]byte) []byte{
 		"truncated":    func(b []byte) []byte { return b[:len(b)-10] },
@@ -276,7 +276,7 @@ func TestDiskCorruption(t *testing.T) {
 			if err != nil {
 				t.Fatalf("recompute did not rewrite the entry: %v", err)
 			}
-			if res, ok := decodeEntry(key, buf2); !ok || !sameResults(res, want) {
+			if res, ok := DecodeEntry(key, buf2); !ok || !sameResults(res, want) {
 				t.Fatal("rewritten entry is not valid")
 			}
 		})

@@ -35,10 +35,20 @@
 # machine jmin(4,N) should approach min(4,N)x the j1 throughput; on the
 # 1-core CI container every rung clamps to one worker (parallel.Workers),
 # which is exactly what retires PR 5's j4-14%-slower-than-j1 regression.
+#
+# Remote-cache section (PR 7): BenchmarkRemoteWarm/{batched,single} pins the
+# wire-amortization of the cachenet client (one BatchGet round trip per
+# workload vs one Get per segment; gate: single/batched >= 2), and
+# BenchmarkDSECached/{cold,warm-remote} pins the fleet payoff (a DSE sweep
+# against a seeded cacheserver vs against an empty one; gate: warm-remote
+# <= cold * 0.25). PR 7 also chases PR 6's warm-replay drift: the cached
+# replay path was rebuilt around per-worker scratch and single-pass key
+# hashing, and the warm gate holds FullSimCached/warm to within 1.25x of the
+# frozen baseline_pr5 row (78705 ns) so the drift cannot silently return.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-6}"
+PR="${PR:-7}"
 BENCHTIME="${1:-3x}"
 OUT="${2:-BENCH_PR${PR}.json}"
 RAW="${OUT%.json}.txt"
@@ -51,6 +61,7 @@ run_bench() {
   run_bench 'BenchmarkFullSim' ./internal/pipeline/   # also matches FullSimCached
   run_bench 'BenchmarkRunKernel' ./internal/gpu/
   run_bench 'BenchmarkBuildClusters|BenchmarkStreamingPlan|BenchmarkPlanPhoton|BenchmarkPlanPKA' .
+  run_bench 'BenchmarkRemoteWarm|BenchmarkDSECached' ./internal/cachenet/
 } | tee "$RAW"
 
 # Parse "BenchmarkName-N  iters  T ns/op  B B/op  A allocs/op" rows into
@@ -125,6 +136,22 @@ cat > "$OUT" <<EOF
     {"name": "PlanPhoton", "ns_per_op": 14210057, "bytes_per_op": 5387104, "allocs_per_op": 10231},
     {"name": "PlanPKA", "ns_per_op": 58903315, "bytes_per_op": 14505298, "allocs_per_op": 10541}
   ],
+  "baseline_pr6": [
+    {"name": "FullSim/j1", "ns_per_op": 326761569, "bytes_per_op": 773266, "allocs_per_op": 288},
+    {"name": "FullSim/j2", "ns_per_op": 313001309, "bytes_per_op": 773266, "allocs_per_op": 288},
+    {"name": "FullSim/j4", "ns_per_op": 310394559, "bytes_per_op": 773266, "allocs_per_op": 288},
+    {"name": "FullSim/j8", "ns_per_op": 306159008, "bytes_per_op": 773266, "allocs_per_op": 288},
+    {"name": "FullSim/j16", "ns_per_op": 337015624, "bytes_per_op": 773266, "allocs_per_op": 288},
+    {"name": "FullSimCached/cold", "ns_per_op": 341941159, "bytes_per_op": 808568, "allocs_per_op": 516},
+    {"name": "FullSimCached/warm", "ns_per_op": 96172, "bytes_per_op": 32088, "allocs_per_op": 194},
+    {"name": "RunKernel", "ns_per_op": 9181252, "bytes_per_op": 0, "allocs_per_op": 0},
+    {"name": "BuildClusters/rodinia", "ns_per_op": 1494655, "bytes_per_op": 244893, "allocs_per_op": 87},
+    {"name": "BuildClusters/casio", "ns_per_op": 9949388, "bytes_per_op": 1266704, "allocs_per_op": 117},
+    {"name": "BuildClusters/hf", "ns_per_op": 47024287, "bytes_per_op": 7027757, "allocs_per_op": 92},
+    {"name": "StreamingPlan", "ns_per_op": 37996165, "bytes_per_op": 14081120, "allocs_per_op": 749},
+    {"name": "PlanPhoton", "ns_per_op": 13309169, "bytes_per_op": 5387104, "allocs_per_op": 10231},
+    {"name": "PlanPKA", "ns_per_op": 58133138, "bytes_per_op": 14505304, "allocs_per_op": 10541}
+  ],
   "benchmarks": [
 $(cat /tmp/bench_rows.$$)
   ]
@@ -153,6 +180,61 @@ if [ -n "$j1" ] && [ -n "$j4" ]; then
   }'
 else
   echo "bench.sh: scaling gate skipped (FullSim j1/j4 rows not found in $RAW)" >&2
+fi
+
+# bench_ns extracts the ns/op of a fully-qualified benchmark name.
+bench_ns() {
+  awk -v b="Benchmark$1" \
+    '{ name = $1; sub(/-[0-9]+$/, "", name); if (name == b) { print $3; exit } }' "$RAW"
+}
+
+# Warm-replay gate (PR 7, retiring PR 6's drift): the cached warm replay is
+# held to the frozen baseline_pr5 absolute (78705 ns) with a 1.25x noise
+# allowance. An absolute bar — not cold-relative — because the drift this
+# chases was warm-path-only and invisible to the warm/cold ratio.
+warm="$(bench_ns 'FullSimCached/warm')"
+if [ -n "$warm" ]; then
+  awk -v warm="$warm" 'BEGIN {
+    bar = 78705 * 1.25
+    if (warm > bar) {
+      printf "bench.sh: warm-replay gate FAILED: FullSimCached/warm = %.0f ns > baseline_pr5 78705 ns * 1.25 = %.0f ns\n", warm, bar
+      exit 1
+    }
+    printf "bench.sh: warm-replay gate ok: FullSimCached/warm = %.0f ns (must be <= %.0f)\n", warm, bar
+  }'
+else
+  echo "bench.sh: warm-replay gate skipped (FullSimCached/warm row not found in $RAW)" >&2
+fi
+
+# Remote-cache gates (PR 7): a DSE sweep against a seeded cacheserver must
+# run in at most a quarter of the cold sweep, and the batched lookup path
+# must beat per-segment single Gets by at least 2x.
+dse_cold="$(bench_ns 'DSECached/cold')"; dse_warm="$(bench_ns 'DSECached/warm-remote')"
+if [ -n "$dse_cold" ] && [ -n "$dse_warm" ]; then
+  awk -v cold="$dse_cold" -v warm="$dse_warm" 'BEGIN {
+    ratio = warm / cold
+    if (ratio > 0.25) {
+      printf "bench.sh: remote-warm gate FAILED: DSECached/warm-remote / cold = %.3f (must be <= 0.25)\n", ratio
+      exit 1
+    }
+    printf "bench.sh: remote-warm gate ok: DSECached/warm-remote / cold = %.3f (must be <= 0.25)\n", ratio
+  }'
+else
+  echo "bench.sh: remote-warm gate skipped (DSECached rows not found in $RAW)" >&2
+fi
+
+rw_batched="$(bench_ns 'RemoteWarm/batched')"; rw_single="$(bench_ns 'RemoteWarm/single')"
+if [ -n "$rw_batched" ] && [ -n "$rw_single" ]; then
+  awk -v batched="$rw_batched" -v single="$rw_single" 'BEGIN {
+    speedup = single / batched
+    if (speedup < 2.0) {
+      printf "bench.sh: batch gate FAILED: RemoteWarm single/batched = %.2fx (must be >= 2)\n", speedup
+      exit 1
+    }
+    printf "bench.sh: batch gate ok: RemoteWarm single/batched = %.2fx (must be >= 2)\n", speedup
+  }'
+else
+  echo "bench.sh: batch gate skipped (RemoteWarm rows not found in $RAW)" >&2
 fi
 
 echo "wrote $RAW and $OUT"
