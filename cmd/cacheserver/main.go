@@ -12,6 +12,12 @@
 // Usage:
 //
 //	cacheserver [-addr :9736] [-maxmb 1024] [-statsevery 0]
+//	cacheserver -cpuprofile cpu.pb.gz -memprofile heap.pb.gz
+//
+// The profile flags match cmd/stemroot and cmd/experiments: -cpuprofile
+// records CPU samples for the whole serve loop, -memprofile writes a heap
+// profile at shutdown — the evidence base for sizing -maxmb and for finding
+// allocation hot spots under fleet load.
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -45,8 +53,25 @@ func run(args []string, stderr io.Writer, shutdown <-chan os.Signal, ready func(
 	addr := fs.String("addr", ":9736", "TCP listen address")
 	maxMB := fs.Int64("maxmb", 1024, "approximate cache size bound in MiB (<=0: unbounded)")
 	statsEvery := fs.Duration("statsevery", 0, "print stats to stderr at this interval (0: only on shutdown)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this path")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this path on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer writeHeapProfile(*memProfile, stderr)
 	}
 
 	maxBytes := *maxMB << 20
@@ -94,4 +119,19 @@ func run(args []string, stderr io.Writer, shutdown <-chan os.Signal, ready func(
 	}
 	fmt.Fprintf(stderr, "cacheserver: %s\n", srv.Stats())
 	return nil
+}
+
+// writeHeapProfile records an up-to-date heap profile, the evidence base
+// for allocation-focused perf work (go tool pprof <binary> <path>).
+func writeHeapProfile(path string, stderr io.Writer) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "cacheserver: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(stderr, "cacheserver: %v\n", err)
+	}
 }

@@ -71,3 +71,46 @@ func TestRunServesAndShutsDown(t *testing.T) {
 		}
 	}
 }
+
+// TestRunWritesProfiles pins the -cpuprofile/-memprofile lifecycle: both
+// files must exist and be non-empty after a clean SIGTERM shutdown.
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := dir + "/cpu.pb.gz"
+	mem := dir + "/heap.pb.gz"
+	var stderr bytes.Buffer
+	sig := make(chan os.Signal, 1)
+	addrCh := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-cpuprofile", cpu, "-memprofile", mem},
+			&stderr, sig, func(a net.Addr) { addrCh <- a })
+	}()
+
+	select {
+	case <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not start listening")
+	}
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down on SIGTERM")
+	}
+
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}

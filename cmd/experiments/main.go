@@ -18,7 +18,7 @@
 //
 // Experiment ids: table2, fig1, fig7, fig8, fig9, fig10, fig11, fig12,
 // fig13, fig14, table3, table4 (alias: dse), table5, flush, kkt, rootk,
-// root, warmup, multigpu, confidence, all.
+// root, warmup, multigpu, confidence, epochsweep, all.
 package main
 
 import (
@@ -46,6 +46,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed")
 	reps := flag.Int("reps", 0, "override repetitions (0 = scale default)")
 	jobs := flag.Int("j", 0, "worker count (0 = one per CPU, 1 = serial; results are identical)")
+	engine := flag.String("engine", "exact", "kernel engine: exact (bit-exact event loop) or par (relaxed-sync intra-kernel parallel)")
+	jkernel := flag.Int("jkernel", 0, "intra-kernel workers for -engine par (0 = one per CPU; never changes results)")
+	epoch := flag.Float64("epoch", 0, "epoch length in cycles for -engine par (0 = default; trades accuracy for sync cost)")
 	cacheDir := flag.String("cachedir", "", "persist segment results on disk in this directory (reused across runs)")
 	cacheAddr := flag.String("cacheaddr", "", "share segment results through the cacheserver at this address (host:port)")
 	cacheMB := flag.Int("cachemb", 0, "in-memory segment cache bound in MiB (0 = default 256)")
@@ -81,6 +84,9 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Parallelism = *jobs
+	cfg.Engine = *engine
+	cfg.KernelWorkers = *jkernel
+	cfg.Epoch = *epoch
 	if *reps > 0 {
 		cfg.Reps = *reps
 	}
@@ -279,6 +285,14 @@ func runExperiments(cfg experiments.Config, run string, out io.Writer) error {
 			var res *experiments.ConfidenceResult
 			if res, err = experiments.Confidence(cfg, 100); err == nil {
 				rendered = res.Render()
+			}
+		case "epochsweep":
+			var res *experiments.EpochSweepResult
+			if res, err = experiments.EpochSweep(cfg); err == nil {
+				rendered = res.Render()
+				// Wall clock is the one nondeterministic output; stderr
+				// keeps stdout byte-identical at any -j/-jkernel.
+				fmt.Fprint(os.Stderr, res.RenderTiming())
 			}
 		default:
 			return fmt.Errorf("unknown experiment %q", id)

@@ -61,6 +61,9 @@ type cliConfig struct {
 	cacheMB     int
 	noCache     bool
 	cacheStats  bool
+	engine      string
+	jkernel     int
+	epoch       float64
 }
 
 func main() {
@@ -85,6 +88,9 @@ func main() {
 	flag.IntVar(&cfg.cacheMB, "cachemb", 0, "in-memory segment cache bound in MiB (0 = default 256)")
 	flag.BoolVar(&cfg.noCache, "nocache", false, "disable the segment-result cache in -simulate mode")
 	flag.BoolVar(&cfg.cacheStats, "cachestats", true, "print per-tier cache counters to stderr after -simulate")
+	flag.StringVar(&cfg.engine, "engine", "exact", "-simulate kernel engine: exact (bit-exact event loop) or par (relaxed-sync intra-kernel parallel)")
+	flag.IntVar(&cfg.jkernel, "jkernel", 0, "intra-kernel workers for -engine par (0 = one per CPU; never changes results)")
+	flag.Float64Var(&cfg.epoch, "epoch", 0, "epoch length in cycles for -engine par (0 = default; trades accuracy for sync cost)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
 	flag.Parse()
@@ -240,7 +246,10 @@ func simulateProfile(cfg cliConfig, names []string, times []float64, out io.Writ
 		workloads.FromProfile(filepath.Base(cfg.profilePath), names, times, cfg.seed),
 		cfg.simCalls, 64)
 
-	opts := pipeline.Options{Workers: cfg.jobs}
+	opts := pipeline.Options{
+		Workers: cfg.jobs,
+		Engine:  cfg.engine, KernelWorkers: cfg.jkernel, Epoch: cfg.epoch,
+	}
 	var sc *simcache.Cache
 	var client *cachenet.Client
 	if !cfg.noCache {

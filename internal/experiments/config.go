@@ -61,18 +61,36 @@ type Config struct {
 	// points, repetitions, and variants instead of re-simulating them.
 	// Results are bit-identical with and without it. nil disables caching.
 	Cache gpu.SegmentCache
+	// Engine selects the kernel execution mode for every simulator-bound
+	// runner: "" or "exact" is gpu.RunKernel, "par" the relaxed-sync
+	// intra-kernel parallel engine (pipeline.Options.Engine). Cache keys
+	// include the mode and epoch, so exact and par runs never share entries.
+	Engine string
+	// KernelWorkers is the intra-kernel worker count for the par engine
+	// (<= 0: one per CPU). Ignored in exact mode; never affects results.
+	KernelWorkers int
+	// Epoch is the par engine's epoch length in simulated cycles (<= 0:
+	// gpu.DefaultEpoch). Ignored in exact mode.
+	Epoch float64
 }
 
 // pipelineOpts builds the simulation pipeline options from the config.
 func (c Config) pipelineOpts() pipeline.Options {
-	return pipeline.Options{Workers: c.Parallelism, Cache: c.Cache}
+	return pipeline.Options{
+		Workers: c.Parallelism, Cache: c.Cache,
+		Engine: c.Engine, KernelWorkers: c.KernelWorkers, Epoch: c.Epoch,
+	}
 }
 
 // serialSimOpts builds pipeline options for runners that parallelize at the
 // workload level and therefore keep each workload's simulation serial. The
-// shared cache still applies.
+// shared cache still applies — as does the engine mode: a runner's accuracy
+// story must not silently change with its parallelization strategy.
 func (c Config) serialSimOpts() pipeline.Options {
-	return pipeline.Options{Workers: 1, Cache: c.Cache}
+	return pipeline.Options{
+		Workers: 1, Cache: c.Cache,
+		Engine: c.Engine, KernelWorkers: c.KernelWorkers, Epoch: c.Epoch,
+	}
 }
 
 // Quick returns a configuration sized for unit tests (seconds, not hours).

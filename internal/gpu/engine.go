@@ -1,0 +1,124 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"stemroot/internal/kernelgen"
+)
+
+// ParEngineFingerprint names the relaxed-sync parallel engine's behaviour
+// version, exactly as EngineFingerprint names the exact engine's. The two
+// fingerprints are deliberately distinct constants: a segment simulated by
+// RunKernelPar is keyed under this string (plus the epoch length), so exact
+// and relaxed results can NEVER share a cache entry — not in the in-memory
+// tier, not on disk, not on a remote cache server shared by a fleet mixing
+// engine modes (pinned by TestSegmentKeyEngineSeparation).
+//
+// Discipline: bump this in the SAME change as any modification that alters
+// RunKernelPar's results at a fixed epoch (merge order, overlay policy,
+// fair-share queue model, epoch alignment, ...). Changes that alter the
+// exact engine bump EngineFingerprint as before — and, since RunKernelPar
+// shares the instruction-timing model, usually this string too.
+const ParEngineFingerprint = "stemroot-gpu-engine-par-v1"
+
+// EngineModeExact and EngineModePar are the two execution modes of the
+// segmented simulation engine (see Engine).
+const (
+	EngineModeExact = "exact"
+	EngineModePar   = "par"
+)
+
+// Engine selects how RunSegmentedEngine executes each kernel of a segment:
+//
+//   - exact (the zero value): Simulator.RunKernel — one global event loop,
+//     exact shared state at every instruction. Today's contract, bit-identical
+//     to every result the repo has ever cached.
+//   - par: Simulator.RunKernelPar — per-SM shards advanced in Epoch-length
+//     time windows against an epoch-synchronized shared L2, Workers intra-
+//     kernel workers. Deterministic for any Workers value at a fixed Epoch;
+//     approximate relative to exact mode, with the error measured by
+//     `experiments -run epochsweep`.
+//
+// Workers and Epoch are ignored in exact mode. In par mode Epoch <= 0 selects
+// DefaultEpoch; Workers <= 0 selects one per CPU. Workers is deliberately NOT
+// part of the segment cache key (it cannot change results); Epoch is.
+type Engine struct {
+	Mode    string
+	Workers int
+	Epoch   float64
+}
+
+// Validate rejects unknown modes and non-finite epochs. An empty Mode is
+// exact.
+func (e Engine) Validate() error {
+	switch e.Mode {
+	case "", EngineModeExact, EngineModePar:
+	default:
+		return fmt.Errorf("gpu: unknown engine mode %q (want %q or %q)", e.Mode, EngineModeExact, EngineModePar)
+	}
+	if math.IsNaN(e.Epoch) || math.IsInf(e.Epoch, 0) {
+		return fmt.Errorf("gpu: engine epoch must be finite, got %v", e.Epoch)
+	}
+	return nil
+}
+
+// normalized resolves defaults: empty mode to exact, par-mode Epoch <= 0 to
+// DefaultEpoch (so Engine{Mode: "par"} means "par at the default epoch", not
+// the degenerate exact case), and exact mode's Workers/Epoch to zero so that
+// equal-behaviour engines compare equal.
+func (e Engine) normalized() Engine {
+	if e.Mode == "" {
+		e.Mode = EngineModeExact
+	}
+	if e.Mode == EngineModeExact {
+		e.Workers, e.Epoch = 0, 0
+		return e
+	}
+	if e.Epoch <= 0 {
+		e.Epoch = DefaultEpoch
+	}
+	return e
+}
+
+// exact reports whether e (already normalized) is the exact engine.
+func (e Engine) exact() bool { return e.Mode == EngineModeExact }
+
+// runKernel executes one kernel under the engine mode.
+func (e Engine) runKernel(sim *Simulator, spec *kernelgen.Spec) KernelResult {
+	if e.exact() {
+		return sim.RunKernel(spec)
+	}
+	return sim.RunKernelPar(spec, e.Workers, e.Epoch)
+}
+
+// KeyForSegmentEngine derives the content address of a replay segment under
+// an engine mode. For the exact engine the encoding — and therefore the key —
+// is byte-identical to KeyForSegment's, so every cache entry ever written by
+// exact-mode runs stays addressable (pinned by TestSegmentKeyGolden and
+// TestSegmentKeyEngineExactMatchesLegacy). Par-mode keys hash
+// ParEngineFingerprint plus the epoch length in front of the same
+// config+spec encoding: a different mode or a different epoch is a different
+// key, while the worker count — which cannot change results — is excluded.
+func KeyForSegmentEngine(cfg Config, specs []kernelgen.Spec, eng Engine) SegmentKey {
+	k, _ := KeyForSegmentEngineAppend(nil, cfg, specs, eng)
+	return k
+}
+
+// KeyForSegmentEngineAppend is KeyForSegmentEngine with a caller-owned
+// scratch buffer, mirroring KeyForSegmentAppend.
+func KeyForSegmentEngineAppend(buf []byte, cfg Config, specs []kernelgen.Spec, eng Engine) (SegmentKey, []byte) {
+	eng = eng.normalized()
+	if eng.exact() {
+		return KeyForSegmentAppend(buf, cfg, specs)
+	}
+	kh := keyHasher{buf: buf[:0]}
+	kh.str(ParEngineFingerprint)
+	kh.f64(eng.Epoch)
+	kh.writeConfig(&cfg)
+	kh.u64(uint64(len(specs)))
+	for i := range specs {
+		kh.writeSpec(&specs[i])
+	}
+	return kh.sum(), kh.buf
+}

@@ -1,0 +1,154 @@
+package gpu
+
+import (
+	"sync"
+	"testing"
+
+	"stemroot/internal/kernelgen"
+)
+
+// recordingCache is a minimal SegmentCache that records every key it is
+// asked for — enough to prove which content addresses a run touches.
+type recordingCache struct {
+	mu      sync.Mutex
+	entries map[SegmentKey][]KernelResult
+}
+
+func newRecordingCache() *recordingCache {
+	return &recordingCache{entries: make(map[SegmentKey][]KernelResult)}
+}
+
+func (c *recordingCache) GetOrCompute(key SegmentKey, compute func() ([]KernelResult, error)) ([]KernelResult, error) {
+	c.mu.Lock()
+	seg, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok {
+		return seg, nil
+	}
+	seg, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.entries[key] = seg
+	c.mu.Unlock()
+	return seg, nil
+}
+
+func engineTestSpecs(n int) func(i int) kernelgen.Spec {
+	return func(i int) kernelgen.Spec {
+		s := *specFor(0.3+0.05*float64(i%8), 0.2+0.07*float64(i%5), 1<<20, 1e6)
+		s.Seed = uint64(i) * 7919
+		return s
+	}
+}
+
+// TestRunSegmentedEngineParDeterministic pins the composed determinism
+// contract: under the par engine, results are bit-identical for every
+// (segment workers, intra-kernel workers) combination at a fixed epoch.
+func TestRunSegmentedEngineParDeterministic(t *testing.T) {
+	cfg := Baseline()
+	specAt := engineTestSpecs(40)
+	eng := Engine{Mode: EngineModePar, Workers: 1, Epoch: 256}
+	base, baseTotal, err := RunSegmentedEngine(cfg, 40, specAt, 8, 1, nil, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jseg := range []int{2, 4} {
+		for _, jk := range []int{2, 8} {
+			eng.Workers = jk
+			got, total, err := RunSegmentedEngine(cfg, 40, specAt, 8, jseg, nil, eng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total != baseTotal {
+				t.Fatalf("j=%d jkernel=%d: total %v != %v", jseg, jk, total, baseTotal)
+			}
+			for i := range got {
+				if got[i] != base[i] {
+					t.Fatalf("j=%d jkernel=%d: result %d = %+v != %+v", jseg, jk, i, got[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunSegmentedEngineExactIsRunSegmentedCached pins that the zero Engine
+// is today's contract: same results, same cache keys (an exact-engine run
+// against a cache warmed by RunSegmentedCached must hit every segment).
+func TestRunSegmentedEngineExactIsRunSegmentedCached(t *testing.T) {
+	cfg := Baseline()
+	specAt := engineTestSpecs(24)
+	cache := newRecordingCache()
+	want, wantTotal, err := RunSegmentedCached(cfg, 24, specAt, 8, 2, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmed := len(cache.entries)
+	got, total, err := RunSegmentedEngine(cfg, 24, specAt, 8, 3, cache, Engine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cache.entries) != warmed {
+		t.Fatalf("exact engine minted %d new cache keys; wanted pure hits", len(cache.entries)-warmed)
+	}
+	if total != wantTotal {
+		t.Fatalf("total %v != %v", total, wantTotal)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("result %d = %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunSegmentedEngineModesNeverShareEntries is the end-to-end half of the
+// cache-honesty contract (the key-level half is TestSegmentKeyEngineSeparation):
+// one shared cache serving an exact run and a par run of the SAME workload
+// ends up with two disjoint entry sets, and neither run observes the other's
+// results.
+func TestRunSegmentedEngineModesNeverShareEntries(t *testing.T) {
+	cfg := Baseline()
+	specAt := engineTestSpecs(24)
+	cache := newRecordingCache()
+	exact, _, err := RunSegmentedEngine(cfg, 24, specAt, 8, 2, cache, Engine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterExact := len(cache.entries)
+	par, _, err := RunSegmentedEngine(cfg, 24, specAt, 8, 2, cache, Engine{Mode: EngineModePar, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cache.entries) != 2*afterExact {
+		t.Fatalf("par run added %d entries, want %d (disjoint key sets)", len(cache.entries)-afterExact, afterExact)
+	}
+	// A par replay must hit only the par entries and reproduce par results.
+	par2, _, err := RunSegmentedEngine(cfg, 24, specAt, 8, 4, cache, Engine{Mode: EngineModePar, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cache.entries) != 2*afterExact {
+		t.Fatal("par replay minted new keys")
+	}
+	diff := false
+	for i := range par {
+		if par2[i] != par[i] {
+			t.Fatalf("par replay diverged at %d", i)
+		}
+		if par[i] != exact[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("par and exact results identical on every kernel — separation test is vacuous")
+	}
+}
+
+// TestRunSegmentedEngineRejectsBadEngine pins the error path.
+func TestRunSegmentedEngineRejectsBadEngine(t *testing.T) {
+	cfg := Baseline()
+	if _, _, err := RunSegmentedEngine(cfg, 8, engineTestSpecs(8), 4, 1, nil, Engine{Mode: "fast"}); err == nil {
+		t.Fatal("unknown engine mode accepted")
+	}
+}

@@ -71,6 +71,62 @@ func TestRunKernelSampledDegenerate(t *testing.T) {
 	}
 }
 
+// TestWaveCountExactAtCapacityMultiples pins the extrapolation model's
+// anchor property: a launch of exactly k capacity-sized waves counts as
+// exactly k — no partial-wave floor, no off-by-one from the floor/remainder
+// split.
+func TestWaveCountExactAtCapacityMultiples(t *testing.T) {
+	for _, capacity := range []int{1, 32, 512, 1000} {
+		for k := 1; k <= 8; k++ {
+			if got := waveCount(k*capacity, capacity); got != float64(k) {
+				t.Fatalf("waveCount(%d*%d, %d) = %v, want %d", k, capacity, capacity, got, k)
+			}
+		}
+	}
+}
+
+// TestRunKernelSampledMonotoneInBlocks pins that the extrapolated cycle
+// count never decreases as the launch grows, across both regimes (full
+// simulation below the sampling threshold, wave-fit extrapolation above it)
+// and across the boundary between them. Each data point uses a fresh
+// simulator so cross-kernel L2 persistence cannot order-bias the series.
+func TestRunKernelSampledMonotoneInBlocks(t *testing.T) {
+	base := bigKernel()
+	prev := 0.0
+	prevBlocks := 0
+	for _, blocks := range []int{32, 64, 128, 256, 384, 512, 1024, 2048} {
+		spec := *base
+		spec.Blocks = blocks
+		res, err := mustSim(t, Baseline()).RunKernelSampled(&spec, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles < prev {
+			t.Fatalf("cycles decreased: %d blocks -> %v, %d blocks -> %v",
+				prevBlocks, prev, blocks, res.Cycles)
+		}
+		prev, prevBlocks = res.Cycles, blocks
+	}
+}
+
+// TestRunKernelSampledFullPathBitIdentical pins the maxBlocks >= Blocks
+// contract at full KernelResult granularity: the sampled entry point must
+// delegate to RunKernel and return its result bit for bit — cycles,
+// instructions, and both hit rates.
+func TestRunKernelSampledFullPathBitIdentical(t *testing.T) {
+	spec := bigKernel()
+	full := mustSim(t, Baseline()).RunKernel(spec)
+	for _, mb := range []int{spec.Blocks, spec.Blocks + 1, spec.Blocks * 4} {
+		got, err := mustSim(t, Baseline()).RunKernelSampled(spec, mb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != full {
+			t.Fatalf("maxBlocks=%d: %+v != RunKernel %+v", mb, got, full)
+		}
+	}
+}
+
 func TestWaveCount(t *testing.T) {
 	if got := waveCount(512, 512); got != 1 {
 		t.Fatalf("one exact wave = %v", got)

@@ -1,0 +1,675 @@
+package gpu
+
+import (
+	"context"
+	"math"
+	"runtime/pprof"
+
+	"stemroot/internal/kernelgen"
+	"stemroot/internal/parallel"
+)
+
+// DefaultEpoch is the epoch length, in simulated cycles, the relaxed-sync
+// parallel engine uses when callers do not specify one (pipeline.Options and
+// the CLI -epoch flag both map 0 to this). The value trades error for
+// barrier frequency: shorter epochs refresh the shared-L2 snapshot more
+// often (lower error, more barriers), longer ones amortize the barrier. The
+// epochsweep experiment (`experiments -run epochsweep`) measures the curve;
+// 64 is the largest power-of-two epoch that keeps the max total-cycles error
+// across the DSE suites under the 2% bar, while still amortizing each
+// barrier over thousands of simulated instructions on paper-scale kernels.
+const DefaultEpoch = 64
+
+// parAccess is one buffered shared-L2 access: the issue time of the L1 miss
+// that generated it, the line address, the warp slot that issued it, and the
+// total latency the shard provisionally charged for it (MSHR issue delay +
+// fill). Within one SM's buffer accesses are naturally time-ordered (the
+// per-SM event loop issues instructions at nondecreasing times), so the
+// barrier merge is a k-way merge, not a sort. The slot and charged latency
+// are what the barrier's timing correction needs: the merge replay computes
+// the TRUE latency of every access (real shared L2, real global DRAM queue,
+// shadow MSHR fed true fills) and feeds the difference back to the issuing
+// warp's clock.
+type parAccess struct {
+	t    float64
+	addr uint64
+	lat  float64
+	slot int32
+}
+
+// smShard is one SM's private slice of the parallel engine: its own warp
+// heap, warp-slot arena, held entry, in-epoch DRAM-queue estimate, buffered
+// shared-L2 accesses, and result accumulators. Together with the per-SM
+// arrays the Simulator already owns (L1, MSHR file, issue clock, pending
+// list), a shard is everything one SM's event loop touches during an epoch —
+// workers own disjoint SM ranges, so epoch execution shares no mutable state
+// across goroutines (the shared L2 is only Probed, which is read-only).
+type smShard struct {
+	heap      warpHeap
+	warps     []warpState // slot arena; heap entries index into it
+	freeSlots []int32
+	// corr accumulates, per warp slot, the barrier correction: the summed
+	// depFrac-weighted difference between each access's true fill (from the
+	// merge replay) and the fill the shard charged in-epoch. Applied to the
+	// slot's live heap entry (and held entry) at the barrier, then zeroed.
+	// Indexed like warps; grown alongside it.
+	corr      []float64
+	held      heapEntry // next event, carried across the epoch boundary
+	hasHeld   bool
+	dramFree  float64     // in-epoch bandwidth-queue estimate (reset to the global value at each epoch start)
+	acc       []parAccess // shared-L2 accesses buffered for the barrier merge
+	finish    float64
+	instrs    int64
+	l1Hits    uint64
+	l1Misses  uint64
+	done      bool
+
+	// Self-fetch overlay: a direct-mapped, epoch-stamped table of the line
+	// tags this SM itself fetched from DRAM during the CURRENT epoch. The
+	// shared-L2 snapshot is frozen for the whole epoch, so without the
+	// overlay an SM could not even see its own fills — every L1-capacity
+	// re-miss on a line it just brought in would be re-priced as a DRAM
+	// fetch, the dominant error source for memory-bound kernels. A hit
+	// requires tag AND epoch stamp to match (stale entries expire for free
+	// at the barrier, no clearing pass); index collisions merely overwrite
+	// an entry, degrading the prediction, never correctness — and the table
+	// is a pure function of the shard's own access stream, so determinism
+	// across worker counts is untouched.
+	ovTag   []uint64
+	ovEpoch []uint32
+}
+
+// parOverlayBits sizes the self-fetch overlay: 2^12 = 4096 entries (48 KiB)
+// per SM, several times the distinct-line footprint an SM plausibly fetches
+// inside one epoch, so collisions are rare.
+const (
+	parOverlayBits = 12
+	parOverlaySize = 1 << parOverlayBits
+	parOverlayMask = parOverlaySize - 1
+)
+
+// parEngine is the Simulator's scratch arena for RunKernelPar: one shard per
+// SM plus the barrier merge cursors. Allocated lazily on the first parallel
+// run and reused across kernels, so steady-state RunKernelPar calls reuse
+// every backing array exactly as RunKernel reuses the serial arena.
+type parEngine struct {
+	shards []smShard
+	heads  []int // per-SM merge cursor into shards[sm].acc
+	// shadow is the per-SM replay MSHR file: seeded from the real MSHR state
+	// at each epoch start, advanced by the merge replay with TRUE fill
+	// latencies, and swapped back over the real state at the barrier — so
+	// the in-epoch MSHR distortion from mispredicted fills (a snapshot-miss
+	// charged as a DRAM fetch occupies a slot hundreds of cycles longer than
+	// the L2 hit it really was) never survives an epoch boundary.
+	shadow []mshrState
+	// epoch is the current epoch's overlay stamp. It increments monotonically
+	// across the engine's lifetime (never reset per kernel): a stale overlay
+	// entry can only false-hit if its stamp recurs, and a monotone counter
+	// never recurs, which also keeps a warm arena bit-identical to a fresh
+	// one — fresh tables carry stamp 0 and the counter starts at 1.
+	epoch uint32
+	// k holds the current kernel's hoisted constants in the arena so the
+	// serial path stays allocation-free (a returned *parConsts would escape).
+	k parConsts
+	// svc is the current epoch's fair-share DRAM service increment:
+	// dramService scaled by the number of live shards at the epoch start.
+	// Each shard prices bandwidth queueing against only its own in-epoch
+	// fetches, so the unscaled increment would model every SM as owning the
+	// full DRAM bandwidth — a systematic underestimate of queueing delay.
+	// Fair-share scaling charges each fetch as if the live SMs split the
+	// bandwidth evenly (the exact engine's steady state under uniform
+	// traffic); the true global queue is re-derived from the merged access
+	// sequence at every barrier, so the approximation never compounds across
+	// epochs. The live count is a pure function of shard states at the
+	// barrier — deterministic for any worker count.
+	svc float64
+}
+
+// parConsts are the per-kernel constants of the engine, hoisted exactly as
+// RunKernel hoists them (identical conversions and products, so the per-SM
+// loops compute bit-identical per-instruction times to a serial engine fed
+// the same hit/miss outcomes).
+type parConsts struct {
+	issueStep   float64
+	stall       [kernelgen.KindCount]float64
+	l1HitStall  float64
+	l2Fill      float64
+	dramLat     float64
+	dramService float64
+	mshrCap     int
+	depFrac     float64
+	fastOK      bool
+}
+
+// RunKernelPar simulates one kernel with its SMs sharded across workers,
+// advancing all SMs in bounded time epochs against an epoch-synchronized
+// shared L2. It is the relaxed-sync half of the two-mode engine: where
+// RunKernel interleaves every SM through one global event loop (exact shared
+// state at every instruction), RunKernelPar lets each SM run privately
+// within an epoch and reconciles the shared state at epoch barriers.
+//
+// Within an epoch [T, T+epoch) each SM advances its own event loop — private
+// L1, MSHR file, issue clock, and warp heap — and treats the shared L2 as a
+// read-only snapshot of its state at T (Cache.Probe) overlaid with the lines
+// the SM itself fetched since T (the self-fetch overlay): predicted hits
+// cost the L2 fill latency, predicted misses model DRAM latency plus a
+// per-SM fair-share bandwidth-queue estimate — seeded from the global DRAM
+// queue at T and advanced by the line service time scaled by the number of
+// live SMs, i.e. each SM prices fetches as if the live SMs split DRAM
+// bandwidth evenly. Every shared-L2 access is buffered. At the barrier the buffers are merged in
+// (timestamp, SM-id) order — ties prefer the lower SM id, and one SM's
+// accesses are already in program order — and applied to the one shared L2
+// model via Cache.Access, with replay misses advancing the global DRAM
+// queue. The L2 contents, its hit/miss statistics, and the DRAM queue
+// therefore evolve through exactly one deterministic sequence of exact
+// cache-model transitions.
+//
+// Determinism: an SM's execution within an epoch is a pure function of its
+// own state and the shared snapshot at the epoch start; the merge order is a
+// pure function of the buffered (timestamp, SM-id) pairs. Neither depends on
+// how SMs are partitioned into workers or on goroutine scheduling, so the
+// result is bit-identical for every worker count at a fixed epoch length —
+// only the epoch length affects output (pinned by
+// TestRunKernelParDeterministicAcrossWorkers under -race). Worker counts
+// <= 0 select one worker per CPU; counts above the SM count are clamped to
+// it.
+//
+// The degenerate case — one epoch spanning the whole kernel — is defined as
+// the exact engine: epoch <= 0 (or +Inf, or NaN) runs RunKernel itself, for
+// any worker count, so the single-epoch result is bit-identical to the
+// serial engine (pinned by TestRunKernelParDegenerateEpochMatchesRunKernel).
+// Finite epochs are the approximation; `experiments -run epochsweep`
+// measures their total-cycles error against the exact engine STEM-style.
+//
+// Accuracy note: prediction (snapshot probe) and replay (merged Access) can
+// disagree on individual accesses — that timing slack, bounded by the epoch
+// length, is the entire error of the mode. KernelResult.L2HitRate reports
+// the replayed shared L2's statistics, i.e. the exact cache model driven by
+// the merged access sequence.
+//
+// Like RunKernel, RunKernelPar is NOT safe for concurrent use on one
+// Simulator — it owns the shared L2 and the scratch arena. The worker
+// goroutines it spawns internally are labeled with runtime/pprof labels
+// (phase=sm-shard vs phase=l2-merge) so CPU profiles attribute time to
+// shard execution vs. barrier merge.
+func (s *Simulator) RunKernelPar(spec *kernelgen.Spec, workers int, epoch float64) KernelResult {
+	if !(epoch > 0) || math.IsInf(epoch, 1) {
+		return s.RunKernel(spec)
+	}
+	cfg := s.cfg
+	if cfg.FlushL2BetweenKernels {
+		s.l2.Flush()
+	}
+
+	// Reset the serial per-SM scratch (same contract as RunKernel) and the
+	// parallel shards.
+	if s.par == nil {
+		s.par = &parEngine{
+			shards: make([]smShard, cfg.SMs),
+			heads:  make([]int, cfg.SMs),
+			shadow: make([]mshrState, cfg.SMs),
+		}
+	}
+	shards := s.par.shards
+	for sm := 0; sm < cfg.SMs; sm++ {
+		s.l1s[sm].Reset()
+		s.pending[sm] = s.pending[sm][:0]
+		s.nextPending[sm] = 0
+		s.activeBySM[sm] = 0
+		s.issueClock[sm] = 0
+		s.mshrs[sm].release = s.mshrs[sm].release[:0]
+		s.par.shadow[sm].release = s.par.shadow[sm].release[:0]
+		sh := &shards[sm]
+		sh.heap.reset()
+		sh.warps = sh.warps[:0]
+		sh.freeSlots = sh.freeSlots[:0]
+		sh.corr = sh.corr[:0]
+		sh.hasHeld = false
+		sh.dramFree = 0
+		sh.acc = sh.acc[:0]
+		sh.finish = 0
+		sh.instrs = 0
+		sh.l1Hits, sh.l1Misses = 0, 0
+		sh.done = false
+		if sh.ovTag == nil {
+			sh.ovTag = make([]uint64, parOverlaySize)
+			sh.ovEpoch = make([]uint32, parOverlaySize)
+		}
+		s.par.heads[sm] = 0
+	}
+	s.l2.ResetStats()
+
+	// Round-robin block assignment and initial activation, identical to
+	// RunKernel's (the assignment is part of the machine model, not of the
+	// execution mode).
+	for b := 0; b < spec.Blocks; b++ {
+		sm := b % cfg.SMs
+		for w := 0; w < spec.WarpsPerBlock; w++ {
+			s.pending[sm] = append(s.pending[sm], b*spec.WarpsPerBlock+w)
+		}
+	}
+	for sm := 0; sm < cfg.SMs; sm++ {
+		s.parActivate(spec, sm, 0)
+	}
+
+	k := &s.par.k
+	s.parConstsFor(k, spec)
+
+	// parallel.Workers applies the repo-wide scheduling policy (<= 0 means
+	// one per CPU, caps at GOMAXPROCS — oversubscription only time-slices);
+	// clamping further to the SM count just drops workers that would own
+	// zero SMs. Neither clamp can change results: worker count is
+	// partitioning, and partitioning is invisible by the determinism
+	// argument above.
+	nw := parallel.Workers(workers)
+	if nw > cfg.SMs {
+		nw = cfg.SMs
+	}
+
+	if nw <= 1 {
+		// Serial path: same algorithm, no goroutines (and no allocations —
+		// steady-state j1 calls run entirely in the arena, pinned by
+		// TestRunKernelParSerialSteadyStateAllocs). Bit-identical to the
+		// parallel path by the determinism argument above.
+		var dramFree float64
+		for {
+			epochEnd, alive := s.parNextEpoch(epoch, k)
+			if !alive {
+				break
+			}
+			s.par.epoch++
+			for sm := range shards {
+				sh := &shards[sm]
+				if !sh.done {
+					sh.dramFree = dramFree
+					s.par.shadow[sm].release = append(s.par.shadow[sm].release[:0], s.mshrs[sm].release...)
+					s.runShardEpoch(spec, sm, epochEnd, k)
+				}
+			}
+			dramFree = s.mergeEpoch(k, dramFree)
+		}
+	} else {
+		s.parRunEpochs(spec, k, nw, epoch)
+	}
+
+	// Fold per-SM accumulators in SM order (sums and a max — both
+	// order-insensitive here, the fixed order just keeps the fold obviously
+	// deterministic).
+	var res KernelResult
+	var l1Hits, l1Misses uint64
+	for sm := range shards {
+		sh := &shards[sm]
+		if sh.finish > res.Cycles {
+			res.Cycles = sh.finish
+		}
+		res.Instructions += sh.instrs
+		l1Hits += sh.l1Hits
+		l1Misses += sh.l1Misses
+	}
+	res.L2HitRate = s.l2.HitRate()
+	if tot := l1Hits + l1Misses; tot > 0 {
+		res.L1HitRate = float64(l1Hits) / float64(tot)
+	}
+	return res
+}
+
+// parRunEpochs is the multi-worker epoch loop: persistent worker goroutines,
+// one per contiguous SM range, driven through an epoch barrier — the
+// coordinator broadcasts the epoch end, workers advance their SMs, and the
+// coordinator merges the buffered shared-L2 accesses before the next round.
+// pprof labels attribute profile samples to shard execution (workers,
+// phase=sm-shard) vs. the barrier merge (coordinator, phase=l2-merge). It
+// lives in its own function so its closures can't force the serial path's
+// locals to the heap.
+func (s *Simulator) parRunEpochs(spec *kernelgen.Spec, k *parConsts, nw int, epoch float64) {
+	shards := s.par.shards
+	sms := s.cfg.SMs
+	start := make([]chan float64, nw)
+	done := make(chan struct{}, nw)
+	for w := 0; w < nw; w++ {
+		start[w] = make(chan float64, 1)
+		go func(w int) {
+			pprof.Do(context.Background(), pprof.Labels("gpu-engine", "par", "phase", "sm-shard"), func(context.Context) {
+				lo, hi := w*sms/nw, (w+1)*sms/nw
+				for epochEnd := range start[w] {
+					for sm := lo; sm < hi; sm++ {
+						if !shards[sm].done {
+							s.runShardEpoch(spec, sm, epochEnd, k)
+						}
+					}
+					done <- struct{}{}
+				}
+			})
+		}(w)
+	}
+	pprof.Do(context.Background(), pprof.Labels("gpu-engine", "par", "phase", "l2-merge"), func(context.Context) {
+		var dramFree float64
+		for {
+			epochEnd, alive := s.parNextEpoch(epoch, k)
+			if !alive {
+				break
+			}
+			s.par.epoch++
+			for sm := range shards {
+				shards[sm].dramFree = dramFree
+				if !shards[sm].done {
+					s.par.shadow[sm].release = append(s.par.shadow[sm].release[:0], s.mshrs[sm].release...)
+				}
+			}
+			for w := 0; w < nw; w++ {
+				start[w] <- epochEnd
+			}
+			for w := 0; w < nw; w++ {
+				<-done
+			}
+			dramFree = s.mergeEpoch(k, dramFree)
+		}
+	})
+	for w := 0; w < nw; w++ {
+		close(start[w])
+	}
+}
+
+// parConstsFor hoists the per-kernel engine constants into k, mirroring
+// RunKernel's preamble (same operands, same products, same fast-path domain
+// check). The destination lives in the parEngine arena so nothing escapes.
+func (s *Simulator) parConstsFor(k *parConsts, spec *kernelgen.Spec) {
+	cfg := s.cfg
+	depFrac := cfg.DependencyFraction
+	aluStall := depFrac * float64(cfg.ALULatency)
+	*k = parConsts{
+		issueStep:   1.0 / float64(cfg.IssueWidth),
+		l1HitStall:  depFrac * float64(cfg.L1Latency),
+		l2Fill:      float64(cfg.L2Latency),
+		dramLat:     float64(cfg.DRAMLatency),
+		dramService: float64(s.l2.LineBytes()) / cfg.DRAMBytesPerCycle,
+		mshrCap:     cfg.MSHRsPerSM,
+		depFrac:     depFrac,
+	}
+	k.stall[kernelgen.OpALU] = aluStall
+	k.stall[kernelgen.OpFP32] = aluStall
+	k.stall[kernelgen.OpFP16] = depFrac * float64(cfg.FP16Latency)
+	k.stall[kernelgen.OpSFU] = depFrac * float64(cfg.SFULatency)
+	k.stall[kernelgen.OpBranch] = depFrac * (float64(cfg.ALULatency) * (1 + 2*spec.BranchDivergence))
+	k.stall[kernelgen.OpSync] = aluStall
+	k.fastOK = k.l1HitStall >= 0 && k.l2Fill >= 0 && k.dramLat >= 0 && k.dramService >= 0 && depFrac >= 0
+	for _, v := range k.stall {
+		if !(v >= 0) {
+			k.fastOK = false
+		}
+	}
+}
+
+// parActivate fills free warp slots on sm with pending warps, pushing them
+// onto the SHARD's scheduling heap ready at cycle `at` — the per-shard twin
+// of Simulator.activate (slot indices live in the shard's arena).
+func (s *Simulator) parActivate(spec *kernelgen.Spec, sm int, at float64) {
+	sh := &s.par.shards[sm]
+	for s.activeBySM[sm] < s.cfg.WarpSlots && s.nextPending[sm] < len(s.pending[sm]) {
+		id := s.pending[sm][s.nextPending[sm]]
+		s.nextPending[sm]++
+		s.activeBySM[sm]++
+		var slot int32
+		if n := len(sh.freeSlots); n > 0 {
+			slot = sh.freeSlots[n-1]
+			sh.freeSlots = sh.freeSlots[:n-1]
+		} else {
+			sh.warps = append(sh.warps, warpState{})
+			sh.corr = append(sh.corr, 0)
+			slot = int32(len(sh.warps) - 1)
+		}
+		sh.warps[slot].sm = sm
+		spec.InitStream(&sh.warps[slot].stream, id)
+		sh.heap.push(at, slot)
+	}
+}
+
+// parNextEpoch scans the shards for the earliest pending event and returns
+// the end of the grid-aligned epoch window containing it — epochs live on
+// the fixed grid [n*epoch, (n+1)*epoch), so boundaries are a pure function
+// of the epoch length and the global state, never of worker count; windows
+// in which no SM has an event are skipped rather than barriered through.
+// Shards with no held entry and an empty heap can never schedule again
+// (activation only happens at retirement, which needs a live warp) and are
+// marked done. alive == false means the kernel is complete.
+func (s *Simulator) parNextEpoch(epoch float64, k *parConsts) (epochEnd float64, alive bool) {
+	minNext := math.Inf(1)
+	live := 0
+	for sm := range s.par.shards {
+		sh := &s.par.shards[sm]
+		if sh.done {
+			continue
+		}
+		switch {
+		case sh.hasHeld:
+			live++
+			if sh.held.ready < minNext {
+				minNext = sh.held.ready
+			}
+		case sh.heap.n > 0:
+			live++
+			if sh.heap.keys[0] < minNext {
+				minNext = sh.heap.keys[0]
+			}
+		default:
+			sh.done = true
+		}
+	}
+	if math.IsInf(minNext, 1) {
+		return 0, false
+	}
+	s.par.svc = k.dramService * float64(live)
+	return (math.Floor(minNext/epoch) + 1) * epoch, true
+}
+
+// runShardEpoch advances one SM's event loop until its next event falls at
+// or beyond epochEnd (the entry is then held for the next epoch) or the SM
+// drains. The loop body mirrors RunKernel's per-instruction accounting
+// exactly, with two substitutions: the shared L2 is Probed (read-only
+// snapshot prediction, augmented by the shard's self-fetch overlay) instead
+// of Accessed, with the access buffered for the barrier merge; and DRAM
+// bandwidth queueing runs against the shard's private fair-share estimate
+// (service time scaled by the live-SM count) instead of the global queue. Heap handoffs use
+// the fused pushPop inside the same fastOK key domain RunKernel establishes
+// (falling back to the exact push/pop pair outside it).
+func (s *Simulator) runShardEpoch(spec *kernelgen.Spec, sm int, epochEnd float64, k *parConsts) {
+	sh := &s.par.shards[sm]
+	var e heapEntry
+	if sh.hasHeld {
+		e, sh.hasHeld = sh.held, false
+	} else if sh.heap.n > 0 {
+		e = sh.heap.pop()
+	} else {
+		sh.done = true
+		return
+	}
+
+	l1 := s.l1s[sm]
+	mshr := &s.mshrs[sm]
+	l2 := s.l2
+	ic := s.issueClock[sm]
+	fastOK := k.fastOK
+	ep := s.par.epoch
+	svc := s.par.svc
+
+	for {
+		if e.ready >= epochEnd {
+			sh.held, sh.hasHeld = e, true
+			break
+		}
+		w := &sh.warps[e.slot]
+		ins, ok := w.stream.Next()
+		if !ok {
+			// Warp retired: free its slot, then refill from the pending
+			// list before scheduling the next event.
+			s.activeBySM[sm]--
+			if e.ready > sh.finish {
+				sh.finish = e.ready
+			}
+			sh.freeSlots = append(sh.freeSlots, e.slot)
+			if s.nextPending[sm] < len(s.pending[sm]) {
+				s.parActivate(spec, sm, e.ready)
+			}
+			if sh.heap.n == 0 {
+				sh.done = true
+				break
+			}
+			e = sh.heap.pop()
+			continue
+		}
+		sh.instrs++
+
+		t := e.ready
+		if ic > t {
+			t = ic
+		}
+		ic = t + k.issueStep
+
+		var ready float64
+		if kind := ins.Kind; kind != kernelgen.OpLoad && kind != kernelgen.OpStore {
+			ready = t + k.stall[kind]
+		} else if l1.Access(ins.Addr) {
+			sh.l1Hits++
+			ready = t + k.l1HitStall
+		} else {
+			sh.l1Misses++
+			line := l2.lineIndex(ins.Addr)
+			oi := line & parOverlayMask
+			var fill float64
+			if l2.probeLine(line) || (sh.ovEpoch[oi] == ep && sh.ovTag[oi] == line) {
+				fill = k.l2Fill
+			} else {
+				queue := sh.dramFree - t
+				if queue < 0 {
+					queue = 0
+				}
+				if sh.dramFree < t {
+					sh.dramFree = t
+				}
+				sh.dramFree += svc
+				fill = k.dramLat + queue
+				sh.ovTag[oi] = line
+				sh.ovEpoch[oi] = ep
+			}
+			issue := mshr.acquire(t, fill, k.mshrCap)
+			lat := (issue - t) + fill
+			sh.acc = append(sh.acc, parAccess{t: t, addr: ins.Addr, lat: lat, slot: e.slot})
+			ready = t + k.depFrac*lat
+		}
+
+		if sh.heap.n == 0 {
+			e.ready = ready
+			continue
+		}
+		if fastOK {
+			e = sh.heap.pushPop(heapEntry{ready: ready, slot: e.slot})
+		} else {
+			sh.heap.push(ready, e.slot)
+			e = sh.heap.pop()
+		}
+	}
+	s.issueClock[sm] = ic
+}
+
+// mergeEpoch applies the epoch's buffered shared-L2 accesses to the one
+// shared L2 in (timestamp, SM-id) order — a k-way merge over the per-SM
+// buffers, which are each already in program (nondecreasing-time) order;
+// ties across SMs resolve to the lower SM id by the strict `<` in the scan.
+// Replay misses advance the global DRAM bandwidth queue with exactly the
+// serial engine's queueing rule, and the returned queue value seeds every
+// shard's in-epoch estimate for the next epoch.
+//
+// The replay is also the engine's error-correction point: it knows each
+// access's TRUE fill latency — real shared L2 outcome, real global queue —
+// where the shard could only predict against its frozen snapshot. The
+// dominant prediction error is duplicate DRAM pricing of cross-SM shared
+// lines (every shard sees a snapshot miss for a line only one SM actually
+// fetches; the exact engine gives the rest L2 hits), which grows with the
+// epoch length. For every access the replay accumulates the depFrac-weighted
+// fill difference onto the issuing warp's slot, and at the end of the merge
+// each live warp's scheduled time (heap entry or held entry) shifts by its
+// summed correction — a warp's in-epoch accesses are serialized through its
+// own ready chain, so the sum is the first-order effect of the repriced
+// fills on its clock. Corrected keys are clamped at zero (keeps the heap in
+// pushPop's non-negative key domain) and the heap order is restored by a
+// deterministic rebuild, so the correction — computed and applied entirely
+// on the coordinator — preserves bit-identical results for every worker
+// count. Warps that retired inside the epoch keep their uncorrected finish
+// times (their slot may already host a successor warp, which then absorbs
+// the correction — the successor started when the retiree finished, so
+// shifting it is the right first-order model of the shared SM timeline).
+func (s *Simulator) mergeEpoch(k *parConsts, dramFree float64) float64 {
+	shards := s.par.shards
+	heads := s.par.heads
+	for {
+		best := -1
+		var bt float64
+		for sm := range shards {
+			i := heads[sm]
+			if i >= len(shards[sm].acc) {
+				continue
+			}
+			if t := shards[sm].acc[i].t; best < 0 || t < bt {
+				best, bt = sm, t
+			}
+		}
+		if best < 0 {
+			break
+		}
+		a := shards[best].acc[heads[best]]
+		heads[best]++
+		trueFill := k.l2Fill
+		if !s.l2.Access(a.addr) {
+			queue := dramFree - a.t
+			if queue < 0 {
+				queue = 0
+			}
+			if dramFree < a.t {
+				dramFree = a.t
+			}
+			dramFree += k.dramService
+			trueFill = k.dramLat + queue
+		}
+		trueIssue := s.par.shadow[best].acquire(a.t, trueFill, k.mshrCap)
+		trueLat := (trueIssue - a.t) + trueFill
+		shards[best].corr[a.slot] += k.depFrac * (trueLat - a.lat)
+	}
+	for sm := range shards {
+		sh := &shards[sm]
+		if len(sh.acc) > 0 {
+			// The shadow MSHR file saw the same acquire sequence with true
+			// fills; it, not the distorted in-epoch state, is the MSHR state
+			// the next epoch should start from.
+			s.mshrs[sm].release, s.par.shadow[sm].release =
+				s.par.shadow[sm].release, s.mshrs[sm].release
+			if sh.hasHeld {
+				if c := sh.corr[sh.held.slot]; c != 0 {
+					if sh.held.ready += c; sh.held.ready < 0 {
+						sh.held.ready = 0
+					}
+				}
+			}
+			h := &sh.heap
+			changed := false
+			for i := 0; i < h.n; i++ {
+				if c := sh.corr[h.slots[i]]; c != 0 {
+					r := h.keys[i] + c
+					if r < 0 {
+						r = 0
+					}
+					h.keys[i] = r
+					changed = true
+				}
+			}
+			if changed {
+				h.reheapify()
+			}
+			for i := range sh.corr {
+				sh.corr[i] = 0
+			}
+		}
+		sh.acc = sh.acc[:0]
+		heads[sm] = 0
+	}
+	return dramFree
+}

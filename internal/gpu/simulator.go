@@ -48,6 +48,11 @@ type Simulator struct {
 	heap        warpHeap
 	warps       []warpState // slot arena; heap entries index into it
 	freeSlots   []int32
+
+	// par is the relaxed-sync engine's scratch (per-SM shards + merge
+	// cursors), allocated lazily on the first RunKernelPar call and fully
+	// re-initialized at the start of every parallel kernel — see parkernel.go.
+	par *parEngine
 }
 
 // New validates the configuration and returns a simulator with cold caches.
@@ -548,9 +553,9 @@ type segScratch struct {
 }
 
 // segmentKey materializes segment sg's specs into the scratch and derives
-// its content address. The returned spec slice aliases the scratch and is
-// valid until the next call on the same scratch.
-func (sc *segScratch) segmentKey(cfg Config, n, sg, segLen int, specAt func(i int) kernelgen.Spec) (SegmentKey, []kernelgen.Spec) {
+// its content address under the engine mode. The returned spec slice aliases
+// the scratch and is valid until the next call on the same scratch.
+func (sc *segScratch) segmentKey(cfg Config, n, sg, segLen int, specAt func(i int) kernelgen.Spec, eng Engine) (SegmentKey, []kernelgen.Spec) {
 	lo := sg * segLen
 	hi := lo + segLen
 	if hi > n {
@@ -562,16 +567,16 @@ func (sc *segScratch) segmentKey(cfg Config, n, sg, segLen int, specAt func(i in
 	}
 	sc.specs = specs
 	var key SegmentKey
-	key, sc.keyBuf = KeyForSegmentAppend(sc.keyBuf, cfg, specs)
+	key, sc.keyBuf = KeyForSegmentEngineAppend(sc.keyBuf, cfg, specs, eng)
 	return key, specs
 }
 
 // segmentKeyCached is segmentKey reusing a precomputed key when the prefetch
 // pass already derived it (keys non-nil); the specs are still materialized —
 // the compute-on-miss closure needs them.
-func (sc *segScratch) segmentKeyCached(cfg Config, n, sg, segLen int, specAt func(i int) kernelgen.Spec, keys []SegmentKey) (SegmentKey, []kernelgen.Spec) {
+func (sc *segScratch) segmentKeyCached(cfg Config, n, sg, segLen int, specAt func(i int) kernelgen.Spec, keys []SegmentKey, eng Engine) (SegmentKey, []kernelgen.Spec) {
 	if keys == nil {
-		return sc.segmentKey(cfg, n, sg, segLen, specAt)
+		return sc.segmentKey(cfg, n, sg, segLen, specAt, eng)
 	}
 	lo := sg * segLen
 	hi := lo + segLen
@@ -607,9 +612,33 @@ func (sc *segScratch) segmentKeyCached(cfg Config, n, sg, segLen int, specAt fun
 // Cached result slices are shared between callers; results are copied into
 // the returned slice, never mutated in place.
 func RunSegmentedCached(cfg Config, n int, specAt func(i int) kernelgen.Spec, segLen, workers int, cache SegmentCache) ([]KernelResult, float64, error) {
+	return RunSegmentedEngine(cfg, n, specAt, segLen, workers, cache, Engine{})
+}
+
+// RunSegmentedEngine is RunSegmentedCached with an explicit execution mode:
+// each kernel of each segment runs under eng — the exact engine (RunKernel,
+// the zero Engine) or the relaxed-sync parallel engine (RunKernelPar with
+// eng.Workers intra-kernel workers at eng.Epoch cycles per epoch). Segment
+// cache keys are engine-aware (KeyForSegmentEngine): exact-mode keys are
+// byte-identical to the legacy KeyForSegment keys, par-mode keys carry
+// ParEngineFingerprint plus the epoch, so the two modes never share cache
+// entries. Determinism is unchanged in both modes: results are bit-identical
+// for every segment-worker count AND every eng.Workers value — only
+// eng.Mode and eng.Epoch affect output.
+//
+// In par mode the two worker counts compose: `workers` segment workers each
+// run kernels that internally fan out over eng.Workers SM-shard workers
+// (the -j / -jkernel split on the CLIs). For workloads with many segments,
+// segment workers alone saturate cores; eng.Workers pays off for single-
+// kernel latency and short workloads.
+func RunSegmentedEngine(cfg Config, n int, specAt func(i int) kernelgen.Spec, segLen, workers int, cache SegmentCache, eng Engine) ([]KernelResult, float64, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, 0, err
 	}
+	if err := eng.Validate(); err != nil {
+		return nil, 0, err
+	}
+	eng = eng.normalized()
 	if segLen <= 0 {
 		segLen = DefaultSegmentLen
 	}
@@ -657,7 +686,7 @@ func RunSegmentedCached(cfg Config, n int, specAt func(i int) kernelgen.Spec, se
 			spec := &scratch[worker]
 			for i := lo; i < hi; i++ {
 				*spec = specAt(i)
-				results[i] = sim.RunKernel(spec)
+				results[i] = eng.runKernel(sim, spec)
 			}
 			committer.commit(sg, nil)
 		})
@@ -688,7 +717,7 @@ func RunSegmentedCached(cfg Config, n int, specAt func(i int) kernelgen.Spec, se
 			keys = make([]SegmentKey, nseg)
 			sc := &scratch[0]
 			for sg := 0; sg < nseg; sg++ {
-				keys[sg], _ = sc.segmentKey(cfg, n, sg, segLen, specAt)
+				keys[sg], _ = sc.segmentKey(cfg, n, sg, segLen, specAt, eng)
 			}
 			bp.Prefetch(keys)
 		}
@@ -696,12 +725,12 @@ func RunSegmentedCached(cfg Config, n int, specAt func(i int) kernelgen.Spec, se
 		errs := make([]error, nseg)
 		parallel.ForEachStealing(nseg, nworkers, func(worker, sg int) {
 			sc := &scratch[worker]
-			key, specs := sc.segmentKeyCached(cfg, n, sg, segLen, specAt, keys)
+			key, specs := sc.segmentKeyCached(cfg, n, sg, segLen, specAt, keys, eng)
 			seg, err := cache.GetOrCompute(key, func() ([]KernelResult, error) {
 				sim := simFor(worker)
 				out := make([]KernelResult, len(specs))
 				for i := range specs {
-					out[i] = sim.RunKernel(&specs[i])
+					out[i] = eng.runKernel(sim, &specs[i])
 				}
 				return out, nil
 			})

@@ -58,6 +58,27 @@ type Options struct {
 	// Sharing one cache across FullSimOpt/SampledSimOpt/RunOpt calls is the
 	// intended use. nil disables caching.
 	Cache gpu.SegmentCache
+	// Engine selects the kernel execution mode: "" or "exact" runs
+	// gpu.RunKernel (the default, today's bit-exact contract), "par" runs
+	// gpu.RunKernelPar — the relaxed-sync intra-kernel parallel engine, with
+	// KernelWorkers SM-shard workers advancing in Epoch-cycle windows.
+	// Results in par mode are deterministic for every Workers AND
+	// KernelWorkers value; only Engine and Epoch affect output, and the
+	// segment cache keys both (gpu.KeyForSegmentEngine), so exact and par
+	// results never share cache entries.
+	Engine string
+	// KernelWorkers is the intra-kernel worker count for the par engine
+	// (gpu.RunKernelPar); <= 0 selects one per CPU. Ignored in exact mode.
+	KernelWorkers int
+	// Epoch is the par engine's epoch length in simulated cycles; <= 0
+	// selects gpu.DefaultEpoch. Ignored in exact mode.
+	Epoch float64
+}
+
+// engine maps the Options fields to the gpu.Engine value handed to
+// gpu.RunSegmentedEngine. Validation happens there (unknown modes error).
+func (o Options) engine() gpu.Engine {
+	return gpu.Engine{Mode: o.Engine, Workers: o.KernelWorkers, Epoch: o.Epoch}
 }
 
 // specsOf returns a spec generator for a workload subset: position i maps
@@ -89,7 +110,7 @@ func FullSimOpt(w *trace.Workload, cfg gpu.Config, lim kernelgen.Limits, opt Opt
 	for i := range indices {
 		indices[i] = i
 	}
-	results, _, err := gpu.RunSegmentedCached(cfg, len(indices), specsOf(w, lim, indices), opt.SegmentLen, opt.Workers, opt.Cache)
+	results, _, err := gpu.RunSegmentedEngine(cfg, len(indices), specsOf(w, lim, indices), opt.SegmentLen, opt.Workers, opt.Cache, opt.engine())
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +137,7 @@ func SampledSimOpt(w *trace.Workload, cfg gpu.Config, lim kernelgen.Limits, indi
 			return nil, errors.New("pipeline: sample index out of range")
 		}
 	}
-	results, _, err := gpu.RunSegmentedCached(cfg, len(indices), specsOf(w, lim, indices), opt.SegmentLen, opt.Workers, opt.Cache)
+	results, _, err := gpu.RunSegmentedEngine(cfg, len(indices), specsOf(w, lim, indices), opt.SegmentLen, opt.Workers, opt.Cache, opt.engine())
 	if err != nil {
 		return nil, err
 	}
