@@ -5,6 +5,13 @@
 // Usage:
 //
 //	benchgen -suite casio -scale 0.1 -device rtx2080 -out traces/
+//	benchgen -suite serving -invocations 10000000 -out - | stemroot -stream -profile -
+//
+// The serving suite is special: it streams a KernelSight-LM-style
+// LLM-serving profile CSV (prefill/decode kernel mix, batch-dependent
+// durations, bursty multi-tenant arrivals) of exactly -invocations rows,
+// generated on the fly in O(1) memory, to a file or to stdout with
+// "-out -" — the feed for stemroot's -stream service mode.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"runtime/pprof"
 
 	"stemroot/internal/hwmodel"
+	"stemroot/internal/servetrace"
 	"stemroot/internal/workloads"
 )
 
@@ -25,11 +33,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchgen: ")
 
-	suite := flag.String("suite", "casio", "suite to generate: rodinia, casio, huggingface")
+	suite := flag.String("suite", "casio", "suite to generate: rodinia, casio, huggingface, serving")
 	scale := flag.Float64("scale", 0.1, "suite scale factor (casio/huggingface)")
 	seed := flag.Uint64("seed", 1, "generation seed")
 	device := flag.String("device", "rtx2080", "profiling device: rtx2080, h100, h200")
-	out := flag.String("out", "traces", "output directory")
+	out := flag.String("out", "traces", "output directory (serving: output CSV path, or - for stdout)")
+	invocations := flag.Int("invocations", 1_000_000, "serving suite: exact kernel invocations to emit")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
 	flag.Parse()
@@ -49,6 +58,12 @@ func main() {
 		defer writeHeapProfile(*memProfile)
 	}
 
+	if *suite == "serving" {
+		if err := generateServing(*seed, *invocations, *out, os.Stdout, os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := generate(*suite, *scale, *seed, *device, *out, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
@@ -67,6 +82,30 @@ func writeHeapProfile(path string) {
 	if err := pprof.WriteHeapProfile(f); err != nil {
 		log.Print(err)
 	}
+}
+
+// generateServing streams a serving-trace profile CSV to out ("-" =
+// stdout). The report line goes to errReport so stdout stays a clean CSV
+// pipe.
+func generateServing(seed uint64, invocations int, out string, stdout, errReport io.Writer) error {
+	s := servetrace.New(servetrace.Config{Seed: seed, Invocations: invocations})
+	var w io.Writer
+	if out == "-" {
+		w = stdout
+	} else {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := s.WriteCSV(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(errReport, "serving trace: %d invocations, %d distinct kernels -> %s\n",
+		invocations, s.NumKernels(), out)
+	return nil
 }
 
 // generate produces the suite's trace and profile files under outDir and

@@ -55,6 +55,38 @@ func TestGenerateRodinia(t *testing.T) {
 	}
 }
 
+func TestGenerateServing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serving.csv")
+	var report strings.Builder
+	if err := generateServing(1, 5000, path, nil, &report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "5000 invocations") {
+		t.Fatalf("report: %q", report.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	names, _, err := trace.ReadProfileCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 5000 {
+		t.Fatalf("serving CSV rows %d", len(names))
+	}
+
+	// "-out -" streams to the given stdout writer.
+	var stdout strings.Builder
+	if err := generateServing(1, 100, "-", &stdout, &report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(stdout.String(), "seq,name,time_us\n") {
+		t.Fatal("stdout stream missing CSV header")
+	}
+}
+
 func TestGenerateErrors(t *testing.T) {
 	dir := t.TempDir()
 	var buf strings.Builder

@@ -50,6 +50,7 @@ type cliConfig struct {
 	seed        uint64
 	flat        bool
 	stream      bool
+	snapshot    int
 	tdist       bool
 	jobs        int
 	planOut     string
@@ -64,6 +65,8 @@ type cliConfig struct {
 	engine      string
 	jkernel     int
 	epoch       float64
+
+	stdin io.Reader // -profile - source; os.Stdin outside tests
 }
 
 func main() {
@@ -76,7 +79,8 @@ func main() {
 	flag.Float64Var(&cfg.confidence, "confidence", 0.95, "confidence level")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "sampling seed")
 	flag.BoolVar(&cfg.flat, "flat", false, "disable ROOT's hierarchical splitting")
-	flag.BoolVar(&cfg.stream, "stream", false, "two-pass streaming mode (bounded memory, for huge profiles)")
+	flag.BoolVar(&cfg.stream, "stream", false, "single-pass streaming service mode (bounded memory; -profile - reads stdin)")
+	flag.IntVar(&cfg.snapshot, "snapshot", 0, "with -stream, print a rolling plan snapshot every N invocations (0 = final only)")
 	flag.BoolVar(&cfg.tdist, "tdist", false, "Student-t small-sample correction")
 	flag.IntVar(&cfg.jobs, "j", 0, "worker count (0 = one per CPU, 1 = serial; output is identical)")
 	flag.StringVar(&cfg.planOut, "o", "", "write the sampling plan as JSON to this path")
@@ -110,6 +114,7 @@ func main() {
 		defer writeHeapProfile(*memProfile)
 	}
 
+	cfg.stdin = os.Stdin
 	if err := run(cfg, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
@@ -143,26 +148,19 @@ func run(cfg cliConfig, out io.Writer) error {
 		Parallelism:  cfg.jobs,
 	}
 
+	if cfg.stream {
+		if cfg.simulate {
+			return errors.New("-simulate needs the in-memory path; drop -stream")
+		}
+		return runStream(cfg, opts, out)
+	}
+
 	var (
 		plan  *stemroot.Plan
 		names []string
 		times []float64
 	)
-	if cfg.stream {
-		scanner := trace.CSVScanner{Path: cfg.profilePath}
-		p, err := stemroot.SampleStream(scanner, opts, stemroot.StreamOptions{})
-		if err != nil {
-			return err
-		}
-		plan = p
-		// Times are still needed for the report; stream them once more.
-		if err := scanner.Scan(func(_ string, t float64) bool {
-			times = append(times, t)
-			return true
-		}); err != nil {
-			return err
-		}
-	} else {
+	{
 		f, err := os.Open(cfg.profilePath)
 		if err != nil {
 			return err
@@ -213,9 +211,6 @@ func run(cfg cliConfig, out io.Writer) error {
 	}
 
 	if cfg.simulate {
-		if cfg.stream {
-			return errors.New("-simulate needs the in-memory path; drop -stream")
-		}
 		if err := simulateProfile(cfg, names, times, out); err != nil {
 			return err
 		}
@@ -232,6 +227,121 @@ func run(cfg cliConfig, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// runStream is the single-pass streaming service mode: it ingests the
+// profile (file, or stdin with -profile -) through the zero-alloc byte
+// decoder into a StreamPlanner, optionally printing a rolling snapshot
+// every -snapshot invocations, and ends with the same summary the batch
+// path prints. Memory stays O(#kernels × ReservoirCap) however long the
+// trace is, and the output is byte-identical across runs at a fixed seed.
+func runStream(cfg cliConfig, opts stemroot.Options, out io.Writer) error {
+	sp, err := stemroot.NewStreamPlanner(opts, stemroot.StreamOptions{})
+	if err != nil {
+		return err
+	}
+
+	var src io.Reader
+	if cfg.profilePath == "-" {
+		if cfg.stdin == nil {
+			return errors.New("-profile -: no stdin available")
+		}
+		src = cfg.stdin
+	} else {
+		f, err := os.Open(cfg.profilePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+
+	next := cfg.snapshot
+	var snapErr error
+	if err := trace.NewFastCSVReader(src).ScanBytes(func(name []byte, t float64) bool {
+		sp.AddBytes(name, t)
+		if cfg.snapshot > 0 && sp.Count() >= next {
+			snap, err := sp.Snapshot()
+			if err != nil {
+				snapErr = err
+				return false
+			}
+			printSnapshot(out, snap)
+			next += cfg.snapshot
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	if snapErr != nil {
+		return snapErr
+	}
+
+	// Final plan: forced re-derivation, so the result is independent of
+	// how many rolling snapshots were taken along the way.
+	plan, err := sp.Plan()
+	if err != nil {
+		return err
+	}
+	snap, err := sp.Snapshot()
+	if err != nil {
+		return err
+	}
+
+	if cfg.planOut != "" {
+		f, err := os.Create(cfg.planOut)
+		if err != nil {
+			return err
+		}
+		if err := plan.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "plan written to %s\n", cfg.planOut)
+	}
+
+	fmt.Fprintf(out, "invocations:      %d\n", snap.Invocations)
+	fmt.Fprintf(out, "kernels:          %d\n", snap.Kernels)
+	fmt.Fprintf(out, "clusters:         %d\n", snap.Clusters)
+	fmt.Fprintf(out, "samples (w/repl): %d\n", snap.TotalSamples)
+	fmt.Fprintf(out, "distinct samples: %d\n", len(plan.SampledIndices()))
+	fmt.Fprintf(out, "predicted error:  %.4f (bound %.2f)\n", plan.PredictedError, plan.Epsilon)
+	fmt.Fprintf(out, "total time:       %.6e us\n", snap.TotalTimeUS)
+	fmt.Fprintf(out, "extrapolated:     %.6e us (gap %+.3f%%)\n",
+		snap.ExtrapolatedUS, 100*(snap.ExtrapolatedUS-snap.TotalTimeUS)/snap.TotalTimeUS)
+	if snap.DistinctTimeUS > 0 {
+		fmt.Fprintf(out, "expected speedup: %.1fx\n", snap.TotalTimeUS/snap.DistinctTimeUS)
+	}
+	fmt.Fprintf(out, "replans:          %d\n", snap.Replans)
+
+	if cfg.verbose {
+		sort.Slice(plan.Clusters, func(i, j int) bool {
+			return totalTime(plan.Clusters[i]) > totalTime(plan.Clusters[j])
+		})
+		fmt.Fprintln(out, "\nclusters (by total time):")
+		for _, c := range plan.Clusters {
+			fmt.Fprintf(out, "  %-32s members=%-7d samples=%-5d mean=%10.2fus cov=%.3f\n",
+				c.Kernel, len(c.Members), len(c.Samples), c.Mean, cov(c))
+		}
+	}
+	return nil
+}
+
+// printSnapshot renders one rolling snapshot line — fully deterministic
+// (no timestamps), so repeated runs over the same stream are
+// byte-identical.
+func printSnapshot(out io.Writer, s stemroot.Snapshot) {
+	gap := 0.0
+	if s.TotalTimeUS > 0 {
+		gap = 100 * (s.ExtrapolatedUS - s.TotalTimeUS) / s.TotalTimeUS
+	}
+	fmt.Fprintf(out,
+		"snapshot @%d: kernels=%d clusters=%d samples=%d predicted_error=%.4f total_us=%.6e extrapolated_us=%.6e gap=%+.3f%% replans=%d\n",
+		s.Invocations, s.Kernels, s.Clusters, s.TotalSamples, s.PredictedError,
+		s.TotalTimeUS, s.ExtrapolatedUS, gap, s.Replans)
 }
 
 // simulateProfile validates the sampling approach on the cycle-level

@@ -9,6 +9,7 @@ import (
 
 	"stemroot"
 	"stemroot/internal/rng"
+	"stemroot/internal/trace"
 )
 
 // writeProfile emits a synthetic profile CSV with two well-separated gemm
@@ -76,6 +77,113 @@ func TestRunStreamingMatches(t *testing.T) {
 	}
 }
 
+func TestRunStreamSnapshots(t *testing.T) {
+	profile := writeProfile(t, 5000)
+	cfg := baseCfg(profile)
+	cfg.stream = true
+	cfg.snapshot = 1000
+	var buf strings.Builder
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "snapshot @"); got != 5 {
+		t.Fatalf("want 5 rolling snapshots, got %d:\n%s", got, out)
+	}
+	for _, want := range []string{"snapshot @1000:", "snapshot @5000:", "invocations:      5000", "replans:", "extrapolated:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStreamStdinDeterministic(t *testing.T) {
+	// -profile - reads the CSV from stdin; two runs over the same bytes
+	// must produce byte-identical output (the service-mode smoke).
+	profile := writeProfile(t, 4000)
+	data, err := os.ReadFile(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func() string {
+		cfg := baseCfg("-")
+		cfg.stream = true
+		cfg.snapshot = 1000
+		cfg.stdin = strings.NewReader(string(data))
+		var buf strings.Builder
+		if err := run(cfg, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := runOnce(), runOnce()
+	if a != b {
+		t.Fatalf("stream runs differ:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "invocations:      4000") {
+		t.Fatalf("unexpected stream output:\n%s", a)
+	}
+
+	// Without a stdin reader, -profile - must error, not crash.
+	cfg := baseCfg("-")
+	cfg.stream = true
+	var buf strings.Builder
+	if err := run(cfg, &buf); err == nil {
+		t.Fatal("expected stdin-unavailable error")
+	}
+}
+
+func TestRunStreamMatchesTwoPassPlanJSON(t *testing.T) {
+	// The single-pass service mode and the two-pass SampleStream agree on
+	// the plan for an in-reservoir trace (the equivalence pin, end to
+	// end through the CLI).
+	profile := writeProfile(t, 3000)
+	planPath := filepath.Join(t.TempDir(), "plan.json")
+	cfg := baseCfg(profile)
+	cfg.stream = true
+	cfg.planOut = planPath
+	var buf strings.Builder
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := stemroot.ReadPlanJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	names, times, err := readProfileFile(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := stemroot.SampleStream(sliceScanner{names, times},
+		stemroot.Options{Epsilon: 0.05, Confidence: 0.95, Seed: 1}, stemroot.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Clusters) != len(want.Clusters) {
+		t.Fatalf("clusters: stream CLI %d vs two-pass %d", len(got.Clusters), len(want.Clusters))
+	}
+	for i := range got.Clusters {
+		g, w := got.Clusters[i], want.Clusters[i]
+		if g.Kernel != w.Kernel || g.Weight != w.Weight || g.Mean != w.Mean || g.StdDev != w.StdDev {
+			t.Fatalf("cluster %d differs:\n single-pass %+v\n two-pass    %+v", i, g, w)
+		}
+		if len(g.Samples) != len(w.Samples) {
+			t.Fatalf("cluster %d sample count %d vs %d", i, len(g.Samples), len(w.Samples))
+		}
+		for j := range g.Samples {
+			if g.Samples[j] != w.Samples[j] {
+				t.Fatalf("cluster %d sample %d: %d vs %d", i, j, g.Samples[j], w.Samples[j])
+			}
+		}
+	}
+}
+
 func TestRunWritesPlanJSON(t *testing.T) {
 	profile := writeProfile(t, 1500)
 	planPath := filepath.Join(t.TempDir(), "plan.json")
@@ -97,6 +205,31 @@ func TestRunWritesPlanJSON(t *testing.T) {
 	if len(plan.Clusters) == 0 {
 		t.Fatal("empty plan written")
 	}
+}
+
+// readProfileFile loads a CSV profile for test comparisons.
+func readProfileFile(path string) ([]string, []float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return trace.ReadProfileCSV(f)
+}
+
+// sliceScanner adapts in-memory slices to the public Scanner interface.
+type sliceScanner struct {
+	names []string
+	times []float64
+}
+
+func (s sliceScanner) Scan(yield func(string, float64) bool) error {
+	for i, n := range s.names {
+		if !yield(n, s.times[i]) {
+			return nil
+		}
+	}
+	return nil
 }
 
 func TestRunErrors(t *testing.T) {

@@ -1,0 +1,503 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"stemroot/internal/rng"
+	"stemroot/internal/stats"
+)
+
+// Seed-derivation labels shared by the streaming planners. Both planners
+// MUST derive their per-name reservoir RNGs from the same label in the same
+// first-seen order: that is what makes the single-pass planner's reservoirs
+// — and therefore its cluster intervals — bit-identical to the two-pass
+// BuildPlanStream's on the same stream.
+const (
+	seedLabelReservoir = 0x57e4
+	seedLabelDraw      = 0xd4aa
+)
+
+// cutScratch holds the reusable buffers of deriveCuts so amortized
+// re-clustering allocates nothing once warm.
+type cutScratch struct {
+	valBuf []float64
+	idxBuf []int
+	leaves []Cluster
+	spans  []valueSpan
+}
+
+type valueSpan struct{ lo, hi float64 }
+
+// deriveCuts clusters one kernel's reservoir values with ROOT and appends
+// the resulting half-open interval upper bounds to dst in ascending order
+// (the last cut is +Inf, so every real time assigns to some interval).
+// Leaves of 1-D k-means are contiguous, so each leaf becomes a value span;
+// adjacent spans are cut halfway between so unseen values assign to the
+// nearer cluster. vals is read in its original (insertion) order and never
+// mutated — the recursion partitions a scratch copy.
+func (sc *cutScratch) deriveCuts(dst []float64, name string, vals []float64, p Params, a *splitArena) []float64 {
+	sc.valBuf = append(sc.valBuf[:0], vals...)
+	if cap(sc.idxBuf) < len(vals) {
+		sc.idxBuf = make([]int, len(vals))
+	}
+	idxs := sc.idxBuf[:len(vals)]
+	for i := range idxs {
+		idxs[i] = i
+	}
+	sc.leaves = rootSplit(name, sc.valBuf, idxs, StatsOf(sc.valBuf), p, 0, sc.leaves[:0], a)
+	sc.spans = sc.spans[:0]
+	for _, leaf := range sc.leaves {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, ix := range leaf.Indices {
+			v := vals[ix]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		sc.spans = append(sc.spans, valueSpan{lo, hi})
+	}
+	sort.Slice(sc.spans, func(i, j int) bool { return sc.spans[i].lo < sc.spans[j].lo })
+	for i, sp := range sc.spans {
+		hi := math.Inf(1)
+		if i+1 < len(sc.spans) {
+			hi = (sp.hi + sc.spans[i+1].lo) / 2
+		}
+		dst = append(dst, hi)
+	}
+	return dst
+}
+
+// pairReservoir keeps a uniform sample of (value, stream position) pairs
+// (Vitter's algorithm R). It consumes its RNG exactly like the two-pass
+// planner's value reservoir — one Intn per post-warmup observation — so
+// both planners retain identical values on identical streams. Storage grows
+// geometrically to the cap, so a name invoked fewer than cap times holds
+// only what it saw.
+type pairReservoir struct {
+	cap  int
+	seen int
+	vals []float64
+	pos  []int
+	r    *rng.Rand
+}
+
+func (rv *pairReservoir) add(v float64, position int) {
+	rv.seen++
+	if len(rv.vals) < rv.cap {
+		if len(rv.vals) == cap(rv.vals) {
+			grow := 2 * cap(rv.vals)
+			if grow < 64 {
+				grow = 64
+			}
+			if grow > rv.cap {
+				grow = rv.cap
+			}
+			nv := make([]float64, len(rv.vals), grow)
+			np := make([]int, len(rv.pos), grow)
+			copy(nv, rv.vals)
+			copy(np, rv.pos)
+			rv.vals, rv.pos = nv, np
+		}
+		rv.vals = append(rv.vals, v)
+		rv.pos = append(rv.pos, position)
+		return
+	}
+	if j := rv.r.Intn(rv.seen); j < rv.cap {
+		rv.vals[j] = v
+		rv.pos[j] = position
+	}
+}
+
+// incNameState is the per-kernel-name state of the incremental planner.
+type incNameState struct {
+	res        pairReservoir
+	exact      stats.Online // exact Welford moments over every invocation
+	meanAtPlan float64      // running mean at the last re-plan (drift trigger)
+}
+
+// IncrementalPlanner maintains a STEM+ROOT sampling plan over a profile
+// stream in ONE pass and bounded memory: per kernel name it keeps a uniform
+// reservoir of (time, position) pairs plus exact Welford statistics, and
+// re-derives the ROOT plan with amortized re-clustering — on a doubling
+// schedule (StreamOptions.ReplanEvery), on per-kernel mean drift
+// (StreamOptions.DriftTol), or on demand.
+//
+// Relationship to the two-pass BuildPlanStream: on the same stream at the
+// same seed the reservoirs are bit-identical (same RNG derivation, same
+// add sequence), so the final cluster intervals — and hence the cluster
+// set — are identical. Cluster statistics are exact (bit-identical to the
+// second pass) for every kernel whose full population fits its reservoir;
+// over-capacity kernels get reservoir-estimated statistics apportioned to
+// the exact per-name count and calibrated so Σ N_c·μ_c equals the kernel's
+// exact total time, which keeps the PredictedError delta ε-bounded (pinned
+// by test) without a second scan.
+//
+// Peak memory is O(#names × ReservoirCap) for the reservoirs plus
+// O(#clusters × maxSampleSize) for the derived plan, independent of trace
+// length. The steady-state Add path performs zero heap allocations
+// (AllocsPerRun-pinned).
+//
+// An IncrementalPlanner must be confined to a single goroutine.
+type IncrementalPlanner struct {
+	p    Params
+	opts StreamOptions
+
+	seedGen *rng.Rand
+	states  map[string]*incNameState
+	order   []string // first-seen order (reservoir RNG derivation order)
+
+	count  int     // invocations ingested
+	total  float64 // Kahan-summed total time
+	totalC float64 // Kahan compensation
+
+	plan        *Plan // cached plan; re-derived on the amortized schedule
+	planAt      int   // invocation count at the last re-plan
+	planNames   int   // distinct names at the last re-plan
+	replanCount int   // re-derivations performed (observability)
+
+	lastEstimate    float64 // plan-based extrapolation of the total time
+	lastSampledTime float64 // Σ time over the plan's distinct samples
+
+	// Plan-derivation scratch, reused across re-plans.
+	sc     cutScratch
+	sorted []string
+	cuts   []float64
+}
+
+// NewIncrementalPlanner validates p and returns an empty planner.
+func NewIncrementalPlanner(p Params, opts StreamOptions) (*IncrementalPlanner, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.ReplanEvery == 0 {
+		opts.ReplanEvery = 2
+	}
+	if opts.DriftTol == 0 {
+		opts.DriftTol = 0.25
+	}
+	return &IncrementalPlanner{
+		p:       p,
+		opts:    opts,
+		seedGen: rng.New(rng.Derive(p.Seed, seedLabelReservoir)),
+		states:  make(map[string]*incNameState),
+	}, nil
+}
+
+// Add ingests one invocation. The stream position is implicit (the current
+// invocation count), matching the index space Plan's samples refer to.
+func (ip *IncrementalPlanner) Add(name string, timeUS float64) {
+	st := ip.states[name]
+	if st == nil {
+		st = ip.newState()
+		ip.states[name] = st
+		ip.order = append(ip.order, name)
+	}
+	ip.ingest(st, timeUS)
+}
+
+// AddBytes is Add for a []byte kernel name: the byte-keyed symbol-table
+// lookup does not allocate, and the name is only copied to a string the
+// first time it is seen — the zero-alloc ingest hot path.
+func (ip *IncrementalPlanner) AddBytes(name []byte, timeUS float64) {
+	st := ip.states[string(name)] // compiler-recognized non-allocating lookup
+	if st == nil {
+		interned := string(name)
+		st = ip.newState()
+		ip.states[interned] = st
+		ip.order = append(ip.order, interned)
+	}
+	ip.ingest(st, timeUS)
+}
+
+func (ip *IncrementalPlanner) newState() *incNameState {
+	return &incNameState{res: pairReservoir{cap: ip.opts.reservoirCap(), r: ip.seedGen.Split()}}
+}
+
+func (ip *IncrementalPlanner) ingest(st *incNameState, t float64) {
+	st.res.add(t, ip.count)
+	st.exact.Add(t)
+	ip.count++
+	y := t - ip.totalC
+	s := ip.total + y
+	ip.totalC = (s - ip.total) - y
+	ip.total = s
+}
+
+// Count returns the number of invocations ingested so far.
+func (ip *IncrementalPlanner) Count() int { return ip.count }
+
+// Names returns the number of distinct kernel names seen so far.
+func (ip *IncrementalPlanner) Names() int { return len(ip.states) }
+
+// TotalTime returns the exact (compensated) sum of all ingested times.
+func (ip *IncrementalPlanner) TotalTime() float64 { return ip.total }
+
+// Replans returns how many times the plan has been re-derived — the
+// amortization observable: it grows O(log n) on the doubling schedule.
+func (ip *IncrementalPlanner) Replans() int { return ip.replanCount }
+
+// LastEstimate returns the most recent plan's extrapolation of the total
+// time — each cluster's weight times the profiled times of its drawn
+// samples (the values travel with their reservoir positions, so no second
+// pass is needed). Valid after Plan/CurrentPlan has derived a plan.
+func (ip *IncrementalPlanner) LastEstimate() float64 { return ip.lastEstimate }
+
+// LastSampledTime returns the profiled time covered by the most recent
+// plan's distinct samples — the numerator of the expected-speedup report.
+func (ip *IncrementalPlanner) LastSampledTime() float64 { return ip.lastSampledTime }
+
+// PlanAt returns the invocation count at the most recent re-plan (0 before
+// the first plan) — the denominator for scaling LastEstimate forward to
+// the current count.
+func (ip *IncrementalPlanner) PlanAt() int { return ip.planAt }
+
+// replanDue reports whether the cached plan is stale under the amortized
+// schedule: no plan yet, a new kernel name appeared, the stream grew by the
+// ReplanEvery factor, or some kernel's exact mean drifted past DriftTol.
+func (ip *IncrementalPlanner) replanDue() bool {
+	if ip.plan == nil || ip.planAt == 0 {
+		return true
+	}
+	if ip.planNames != len(ip.states) {
+		return true
+	}
+	if float64(ip.count) >= ip.opts.ReplanEvery*float64(ip.planAt) {
+		return true
+	}
+	if tol := ip.opts.DriftTol; tol > 0 {
+		for _, st := range ip.states {
+			ref := st.meanAtPlan
+			if math.Abs(st.exact.Mean()-ref) > tol*math.Abs(ref) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CurrentPlan returns the cached plan, re-deriving it only when the
+// amortized schedule says it is stale. The returned plan is shared — treat
+// it as read-only.
+func (ip *IncrementalPlanner) CurrentPlan() (*Plan, error) {
+	if ip.replanDue() {
+		return ip.Plan()
+	}
+	return ip.plan, nil
+}
+
+// Plan re-derives the sampling plan from the current reservoirs and exact
+// statistics, caches it, and resets the re-plan schedule. Deterministic:
+// the same ingest sequence at the same seed yields a bit-identical plan,
+// regardless of how many times Plan or CurrentPlan ran before.
+func (ip *IncrementalPlanner) Plan() (*Plan, error) {
+	if ip.count == 0 {
+		return nil, errors.New("core: empty profile stream")
+	}
+	ip.sorted = append(ip.sorted[:0], ip.order...)
+	sort.Strings(ip.sorted)
+
+	arena := splitArenas.Get().(*splitArena)
+	defer splitArenas.Put(arena)
+
+	// Derive intervals per name and accumulate reservoir members into
+	// them: per-interval Welford moments (insertion order = stream order,
+	// so in-reservoir kernels reproduce the two-pass exact statistics bit
+	// for bit) and candidate position pools.
+	var intervals []incInterval
+	for _, name := range ip.sorted {
+		st := ip.states[name]
+		ip.cuts = ip.sc.deriveCuts(ip.cuts[:0], name, st.res.vals, ip.p, arena)
+		base := len(intervals)
+		for range ip.cuts {
+			intervals = append(intervals, incInterval{name: name, st: st})
+		}
+		for i, v := range st.res.vals {
+			j := sort.SearchFloat64s(ip.cuts, v)
+			if j >= len(ip.cuts) {
+				j = len(ip.cuts) - 1
+			}
+			iv := &intervals[base+j]
+			iv.acc.Add(v)
+			iv.pool = append(iv.pool, st.res.pos[i])
+			iv.vals = append(iv.vals, v)
+		}
+	}
+
+	// Per-cluster statistics: exact when the reservoir holds the kernel's
+	// entire population; otherwise reservoir estimates apportioned to the
+	// exact count and calibrated to the exact total time. calScale carries
+	// the per-name calibration factor into the sample weights so the
+	// extrapolation (Weight × Σ sampled times) stays unbiased too.
+	statsVec := make([]ClusterStats, len(intervals))
+	calScale := make([]float64, len(intervals))
+	for lo := 0; lo < len(intervals); {
+		hi := lo + 1
+		for hi < len(intervals) && intervals[hi].st == intervals[lo].st {
+			hi++
+		}
+		s := ip.nameStats(statsVec[lo:hi], intervals[lo].st, intervals[lo:hi])
+		for i := lo; i < hi; i++ {
+			calScale[i] = s
+		}
+		lo = hi
+	}
+
+	sizes := OptimalSizes(statsVec, ip.p)
+	if ip.p.SmallSampleT {
+		sizes = ApplyTCorrection(statsVec, sizes, ip.p)
+	}
+
+	plan := &Plan{Params: ip.p}
+	drawGen := rng.New(rng.Derive(ip.p.Seed, seedLabelDraw))
+	var estimate, sampledTime float64
+	distinct := make(map[int]struct{})
+	for i := range intervals {
+		iv := &intervals[i]
+		m := sizes[i]
+		cs := statsVec[i]
+		pc := PlanCluster{Name: iv.name, SampleSize: m, Stats: cs}
+		if cs.N > 0 && m > 0 {
+			pool := iv.pool
+			if m >= cs.N {
+				// Exact coverage needs an index for every member; cap at
+				// the candidate pool (distinct draws).
+				m = min(cs.N, len(pool))
+				pc.SampleSize = m
+				pc.Samples = append([]int(nil), pool[:m]...)
+				pc.Weight = calScale[i] * float64(cs.N) / float64(m)
+				for j := 0; j < m; j++ {
+					estimate += pc.Weight * iv.vals[j]
+					if _, ok := distinct[pool[j]]; !ok {
+						distinct[pool[j]] = struct{}{}
+						sampledTime += iv.vals[j]
+					}
+				}
+			} else {
+				pc.Weight = calScale[i] * float64(cs.N) / float64(m)
+				pc.Samples = make([]int, m)
+				for j := range pc.Samples {
+					k := drawGen.Intn(len(pool))
+					pc.Samples[j] = pool[k]
+					estimate += pc.Weight * iv.vals[k]
+					if _, ok := distinct[pool[k]]; !ok {
+						distinct[pool[k]] = struct{}{}
+						sampledTime += iv.vals[k]
+					}
+				}
+			}
+		}
+		plan.Clusters = append(plan.Clusters, pc)
+	}
+	ip.lastEstimate = estimate
+	ip.lastSampledTime = sampledTime
+	finalSizes := make([]int, len(plan.Clusters))
+	for i := range plan.Clusters {
+		finalSizes[i] = plan.Clusters[i].SampleSize
+	}
+	plan.PredictedError = PredictedError(statsVec, finalSizes, ip.p)
+
+	ip.plan = plan
+	ip.planAt = ip.count
+	ip.planNames = len(ip.states)
+	ip.replanCount++
+	for _, st := range ip.states {
+		st.meanAtPlan = st.exact.Mean()
+	}
+	return plan, nil
+}
+
+// incInterval is one derived cluster interval during Plan: the owning
+// kernel's state, the Welford moments of the reservoir members that fell in
+// the interval, and their stream positions (the candidate sample pool).
+type incInterval struct {
+	name string
+	st   *incNameState
+	acc  stats.Online
+	pool []int     // candidate stream positions
+	vals []float64 // times at those positions (parallel to pool)
+}
+
+// nameStats fills out with the cluster statistics of one kernel's
+// intervals and returns the name's calibration scale. When the reservoir
+// retained every observation the per-interval Welford moments ARE the exact
+// statistics (identical add order to the two-pass second scan) and the
+// scale is exactly 1. Otherwise the reservoir is a uniform sample: interval
+// populations are apportioned from the exact count by largest remainder
+// (they sum exactly to N), and means/deviations are scaled so the plan's
+// implied total Σ N_c·μ_c equals the kernel's exact total time.
+func (ip *IncrementalPlanner) nameStats(out []ClusterStats, st *incNameState, intervals []incInterval) float64 {
+	r := len(st.res.vals)
+	if st.res.seen <= r {
+		for i := range intervals {
+			o := &intervals[i].acc
+			out[i] = ClusterStats{N: o.N(), Mean: o.Mean(), StdDev: o.StdDev()}
+		}
+		return 1
+	}
+
+	// Apportion the exact population over intervals ∝ reservoir counts.
+	exactN := st.exact.N()
+	assigned := 0
+	for i := range intervals {
+		q := exactN * intervals[i].acc.N() / r
+		if q < 1 {
+			q = 1 // every interval has >= 1 reservoir member
+		}
+		out[i].N = q
+		assigned += q
+	}
+	// Largest-remainder distribution of the leftovers, ties to the lower
+	// index for determinism.
+	for assigned < exactN {
+		best, bestRem := 0, -1.0
+		for i := range intervals {
+			rem := float64(exactN*intervals[i].acc.N())/float64(r) - float64(out[i].N)
+			if rem > bestRem {
+				best, bestRem = i, rem
+			}
+		}
+		out[best].N++
+		assigned++
+	}
+	for assigned > exactN {
+		best, bestRem := -1, math.Inf(1)
+		for i := range intervals {
+			if out[i].N <= 1 {
+				continue
+			}
+			rem := float64(exactN*intervals[i].acc.N())/float64(r) - float64(out[i].N)
+			if rem < bestRem {
+				best, bestRem = i, rem
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out[best].N--
+		assigned--
+	}
+
+	// Calibrate: scale the reservoir means so Σ N_c·μ_c reproduces the
+	// exact per-name total. Deviations scale with the values.
+	var implied float64
+	for i := range intervals {
+		out[i].Mean = intervals[i].acc.Mean()
+		out[i].StdDev = intervals[i].acc.StdDev()
+		implied += float64(out[i].N) * out[i].Mean
+	}
+	exactSum := st.exact.Summary().Sum
+	if implied <= 0 || exactSum <= 0 {
+		return 1
+	}
+	s := exactSum / implied
+	for i := range out {
+		out[i].Mean *= s
+		out[i].StdDev *= s
+	}
+	return s
+}

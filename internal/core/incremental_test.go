@@ -1,0 +1,312 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"stemroot/internal/rng"
+)
+
+// multiKernelTrace builds a trace mixing a bimodal kernel with two
+// unimodal ones, in interleaved invocation order.
+func multiKernelTrace(n int, seed uint64) ([]string, []float64) {
+	r := rng.New(seed)
+	names := make([]string, 0, n)
+	times := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			names = append(names, "gemm")
+			times = append(times, 10*(1+0.02*r.NormFloat64()))
+		case 1:
+			names = append(names, "gemm")
+			times = append(times, 100*(1+0.02*r.NormFloat64()))
+		case 2:
+			names = append(names, "softmax")
+			times = append(times, 5*(1+0.05*r.NormFloat64()))
+		default:
+			names = append(names, "layernorm")
+			times = append(times, 2*(1+0.05*r.NormFloat64()))
+		}
+	}
+	return names, times
+}
+
+func feedIncremental(t *testing.T, names []string, times []float64, p Params, opts StreamOptions) *IncrementalPlanner {
+	t.Helper()
+	ip, err := NewIncrementalPlanner(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range names {
+		ip.Add(n, times[i])
+	}
+	return ip
+}
+
+func TestIncrementalPlanMatchesTwoPassExactly(t *testing.T) {
+	// When every kernel's population fits its reservoir AND every derived
+	// cluster's population fits the candidate pool, the single-pass plan
+	// is bit-identical to the two-pass one: same reservoir RNG discipline
+	// -> same intervals; reservoirs hold the full population in stream
+	// order -> same exact statistics; same candidate pools and draw RNG ->
+	// same sample indices.
+	names, times := multiKernelTrace(1800, 7)
+	p := defaultP()
+
+	twoPass, err := BuildPlanStream(SliceScanner{Names: names, Times: times}, p, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := feedIncremental(t, names, times, p, StreamOptions{})
+	onePass, err := ip.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(twoPass, onePass) {
+		t.Fatalf("single-pass plan differs from two-pass:\n two-pass: %+v\n one-pass: %+v", twoPass, onePass)
+	}
+}
+
+func TestIncrementalPlanOverCapacityEquivalence(t *testing.T) {
+	// With a reservoir far smaller than the stream, the cluster SET must
+	// still be identical (intervals derive only from the shared-RNG
+	// reservoirs) and the apportioned+calibrated statistics must keep the
+	// PredictedError delta ε-bounded.
+	names, times := multiKernelTrace(40000, 11)
+	p := defaultP()
+	opts := StreamOptions{ReservoirCap: 512}
+
+	twoPass, err := BuildPlanStream(SliceScanner{Names: names, Times: times}, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := feedIncremental(t, names, times, p, opts)
+	onePass, err := ip.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(onePass.Clusters) != len(twoPass.Clusters) {
+		t.Fatalf("cluster count: one-pass %d vs two-pass %d", len(onePass.Clusters), len(twoPass.Clusters))
+	}
+	nByName := map[string]int{}
+	exactByName := map[string]int{}
+	for i := range twoPass.Clusters {
+		exactByName[twoPass.Clusters[i].Name] += twoPass.Clusters[i].Stats.N
+	}
+	for i := range onePass.Clusters {
+		a, b := onePass.Clusters[i], twoPass.Clusters[i]
+		if a.Name != b.Name {
+			t.Fatalf("cluster %d name: %q vs %q", i, a.Name, b.Name)
+		}
+		// Per-cluster population is apportioned from reservoir membership,
+		// so it carries the reservoir's binomial sampling error; gate at
+		// 4σ of Binomial(rcap, p) with p = N_c / N_name.
+		nName := float64(exactByName[b.Name])
+		p512 := float64(b.Stats.N) / nName
+		sigma := math.Sqrt(512*p512*(1-p512)) / 512 * nName
+		if d := math.Abs(float64(a.Stats.N - b.Stats.N)); d > 4*sigma+1 {
+			t.Fatalf("cluster %d population off by %v (> 4σ=%v; one-pass %d, exact %d)",
+				i, d, 4*sigma, a.Stats.N, b.Stats.N)
+		}
+		if b.Stats.Mean > 0 {
+			if rel := math.Abs(a.Stats.Mean-b.Stats.Mean) / b.Stats.Mean; rel > 0.05 {
+				t.Fatalf("cluster %d mean off by %v (one-pass %v, exact %v)", i, rel, a.Stats.Mean, b.Stats.Mean)
+			}
+		}
+		nByName[a.Name] += a.Stats.N
+	}
+	for n, want := range exactByName {
+		if nByName[n] != want {
+			t.Fatalf("kernel %q apportioned population %d != exact %d", n, nByName[n], want)
+		}
+	}
+	// ε-bounded PredictedError delta (gate: a quarter of ε).
+	if d := math.Abs(onePass.PredictedError - twoPass.PredictedError); d > p.Epsilon/4 {
+		t.Fatalf("PredictedError delta %v exceeds ε/4 gate (one-pass %v, two-pass %v)",
+			d, onePass.PredictedError, twoPass.PredictedError)
+	}
+	// The single-pass plan must still extrapolate within the error bound.
+	var truth float64
+	for _, tt := range times {
+		truth += tt
+	}
+	est := onePass.Estimate(func(i int) float64 { return times[i] })
+	if rel := math.Abs(est-truth) / truth; rel > p.Epsilon {
+		t.Fatalf("single-pass extrapolation error %v exceeds ε", rel)
+	}
+}
+
+func TestIncrementalPlanOverCapacityImpliedTotal(t *testing.T) {
+	// Calibration invariant: Σ N_c·μ_c over one kernel's clusters equals
+	// the kernel's exact total time (to float rounding).
+	names, times := multiKernelTrace(30000, 13)
+	ip := feedIncremental(t, names, times, defaultP(), StreamOptions{ReservoirCap: 256})
+	plan, err := ip.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	implied := make(map[string]float64)
+	exact := make(map[string]float64)
+	for _, c := range plan.Clusters {
+		implied[c.Name] += float64(c.Stats.N) * c.Stats.Mean
+	}
+	for i, n := range names {
+		exact[n] += times[i]
+	}
+	for n, want := range exact {
+		if got := implied[n]; math.Abs(got-want)/want > 1e-9 {
+			t.Fatalf("kernel %q implied total %v vs exact %v", n, got, want)
+		}
+	}
+}
+
+func TestIncrementalPlanDeterministic(t *testing.T) {
+	// Same stream, same seed -> bit-identical plans, regardless of how
+	// often intermediate plans were derived along the way.
+	names, times := multiKernelTrace(25000, 17)
+	p := defaultP()
+	opts := StreamOptions{ReservoirCap: 1024}
+
+	a := feedIncremental(t, names, times, p, opts)
+	planA, err := a.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := NewIncrementalPlanner(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range names {
+		b.Add(n, times[i])
+		if i == 1000 || i == 9999 {
+			if _, err := b.CurrentPlan(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	planB, err := b.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(planA, planB) {
+		t.Fatal("plans differ despite identical stream and seed")
+	}
+}
+
+func TestIncrementalReplanSchedule(t *testing.T) {
+	// The doubling schedule re-plans O(log n) times when polled per
+	// invocation, not O(n).
+	names, times := multiKernelTrace(32768, 19)
+	ip, err := NewIncrementalPlanner(defaultP(), StreamOptions{ReservoirCap: 512, DriftTol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range names {
+		ip.Add(n, times[i])
+		if i >= 64 && i%64 == 0 {
+			if _, err := ip.CurrentPlan(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// log2(32768/64) ≈ 9 doublings after the first few name-triggered
+	// re-plans; anything below 20 proves amortization.
+	if got := ip.Replans(); got > 20 || got < 3 {
+		t.Fatalf("replans = %d, want O(log n) (3..20)", got)
+	}
+	// A cached plan is returned without re-deriving.
+	before := ip.Replans()
+	if _, err := ip.CurrentPlan(); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := ip.CurrentPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ip.CurrentPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("CurrentPlan re-derived a fresh plan while cached one was valid")
+	}
+	if ip.Replans() > before+1 {
+		t.Fatalf("CurrentPlan re-planned repeatedly: %d -> %d", before, ip.Replans())
+	}
+}
+
+func TestIncrementalDriftTrigger(t *testing.T) {
+	ip, err := NewIncrementalPlanner(defaultP(), StreamOptions{ReservoirCap: 512, ReplanEvery: 1e12, DriftTol: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(23)
+	for i := 0; i < 2000; i++ {
+		ip.Add("k", 10*(1+0.01*r.NormFloat64()))
+	}
+	if _, err := ip.CurrentPlan(); err != nil {
+		t.Fatal(err)
+	}
+	base := ip.Replans()
+	// Small additions: no drift, no re-plan.
+	for i := 0; i < 100; i++ {
+		ip.Add("k", 10*(1+0.01*r.NormFloat64()))
+	}
+	if _, err := ip.CurrentPlan(); err != nil {
+		t.Fatal(err)
+	}
+	if ip.Replans() != base {
+		t.Fatalf("re-planned without drift (replans %d -> %d)", base, ip.Replans())
+	}
+	// A regime shift moves the running mean by far more than 25%.
+	for i := 0; i < 4000; i++ {
+		ip.Add("k", 100*(1+0.01*r.NormFloat64()))
+	}
+	if _, err := ip.CurrentPlan(); err != nil {
+		t.Fatal(err)
+	}
+	if ip.Replans() != base+1 {
+		t.Fatalf("drift trigger did not fire (replans %d -> %d)", base, ip.Replans())
+	}
+}
+
+func TestIncrementalPlannerEmpty(t *testing.T) {
+	ip, err := NewIncrementalPlanner(defaultP(), StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ip.Plan(); err == nil {
+		t.Fatal("expected error planning an empty stream")
+	}
+	bad := defaultP()
+	bad.Epsilon = -1
+	if _, err := NewIncrementalPlanner(bad, StreamOptions{}); err == nil {
+		t.Fatal("expected params validation error")
+	}
+}
+
+func TestIncrementalAddAllocFree(t *testing.T) {
+	// Steady-state ingest (all names seen, reservoirs at capacity) must
+	// not allocate.
+	ip, err := NewIncrementalPlanner(defaultP(), StreamOptions{ReservoirCap: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameBytes := [][]byte{[]byte("gemm"), []byte("softmax"), []byte("layernorm")}
+	r := rng.New(29)
+	for i := 0; i < 3000; i++ {
+		ip.AddBytes(nameBytes[i%3], 10*(1+0.1*r.NormFloat64()))
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(5000, func() {
+		ip.AddBytes(nameBytes[i%3], float64(10+i%7))
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state AddBytes allocates %v per op", allocs)
+	}
+}

@@ -84,12 +84,36 @@ func (rv *indexReservoir) add(i int) {
 	}
 }
 
-// StreamOptions tunes BuildPlanStream.
+// StreamOptions tunes BuildPlanStream and the single-pass
+// IncrementalPlanner.
 type StreamOptions struct {
 	// ReservoirCap bounds the per-kernel-name time sample used for
-	// clustering (default 8192). Memory is O(names * cap), independent of
-	// trace length.
+	// clustering (default 8192). Peak memory has two bounded terms:
+	// O(#names × ReservoirCap) for the clustering reservoirs plus
+	// O(#clusters × maxSampleSize) for the candidate index pools — both
+	// independent of trace length.
 	ReservoirCap int
+
+	// ReplanEvery is the IncrementalPlanner's amortization factor: a
+	// cached plan is re-derived once the invocation count grows by this
+	// multiple since the last re-plan (default 2 — the doubling
+	// schedule). Values <= 1 re-plan on every snapshot. BuildPlanStream
+	// ignores it.
+	ReplanEvery float64
+
+	// DriftTol re-plans early when any kernel's exact running mean moves
+	// by more than this fraction of its value at the last re-plan
+	// (default 0.25; negative disables the drift trigger).
+	// BuildPlanStream ignores it.
+	DriftTol float64
+}
+
+// reservoirCap resolves the default.
+func (o StreamOptions) reservoirCap() int {
+	if o.ReservoirCap <= 0 {
+		return 8192
+	}
+	return o.ReservoirCap
 }
 
 // BuildPlanStream builds a STEM+ROOT plan from an out-of-core profile in
@@ -112,10 +136,7 @@ func BuildPlanStream(src ProfileScanner, p Params, opts StreamOptions) (*Plan, e
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	cap := opts.ReservoirCap
-	if cap <= 0 {
-		cap = 8192
-	}
+	rcap := opts.reservoirCap()
 
 	// ---- Pass 1: reservoirs per kernel name ----
 	type nameState struct {
@@ -123,11 +144,11 @@ func BuildPlanStream(src ProfileScanner, p Params, opts StreamOptions) (*Plan, e
 	}
 	states := make(map[string]*nameState)
 	var order []string
-	seedGen := rng.New(rng.Derive(p.Seed, 0x57e4))
+	seedGen := rng.New(rng.Derive(p.Seed, seedLabelReservoir))
 	if err := src.Scan(func(name string, t float64) bool {
 		st := states[name]
 		if st == nil {
-			st = &nameState{res: newReservoir(cap, seedGen.Split())}
+			st = &nameState{res: newReservoir(rcap, seedGen.Split())}
 			states[name] = st
 			order = append(order, name)
 		}
@@ -141,62 +162,21 @@ func BuildPlanStream(src ProfileScanner, p Params, opts StreamOptions) (*Plan, e
 	}
 	sort.Strings(order)
 
-	// Cluster each reservoir with ROOT; convert leaves to intervals.
-	type interval struct {
-		name   string
-		lo, hi float64 // [lo, hi)
-	}
-	var intervals []interval
+	// Cluster each reservoir with ROOT; convert leaves to half-open
+	// intervals of the real line (shared with the IncrementalPlanner).
 	arena := splitArenas.Get().(*splitArena)
 	defer splitArenas.Put(arena)
-	var valBuf []float64
-	for _, name := range order {
-		vals := states[name].res.vals
-		// The recursion partitions its value slice in place; cluster on a
-		// scratch copy so leaf indices keep addressing the reservoir's
-		// original order.
-		valBuf = append(valBuf[:0], vals...)
-		leaves := rootSplit(name, valBuf, identityIndices(len(vals)), StatsOf(valBuf), p, 0, nil, arena)
-		// Leaves of 1-D k-means are contiguous; recover their value ranges
-		// and convert to a partition of the real line.
-		type span struct{ lo, hi float64 }
-		spans := make([]span, 0, len(leaves))
-		for _, leaf := range leaves {
-			lo, hi := math.Inf(1), math.Inf(-1)
-			for _, ix := range leaf.Indices {
-				v := vals[ix]
-				if v < lo {
-					lo = v
-				}
-				if v > hi {
-					hi = v
-				}
-			}
-			spans = append(spans, span{lo, hi})
-		}
-		sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
-		for i, sp := range spans {
-			iv := interval{name: name, lo: sp.lo, hi: math.Inf(1)}
-			if i == 0 {
-				iv.lo = math.Inf(-1)
-			}
-			if i+1 < len(spans) {
-				// Cut halfway between adjacent spans so unseen values
-				// assign to the nearer cluster.
-				iv.hi = (sp.hi + spans[i+1].lo) / 2
-			}
-			intervals = append(intervals, iv)
-		}
-	}
-
-	// Index intervals per name for binary-search assignment.
+	var sc cutScratch
 	cuts := make(map[string][]float64) // upper bounds, ascending
 	base := make(map[string]int)       // first interval index of the name
-	for i, iv := range intervals {
-		if _, ok := base[iv.name]; !ok {
-			base[iv.name] = i
+	var ivNames []string               // interval index -> kernel name
+	for _, name := range order {
+		cs := sc.deriveCuts(nil, name, states[name].res.vals, p, arena)
+		base[name] = len(ivNames)
+		cuts[name] = cs
+		for range cs {
+			ivNames = append(ivNames, name)
 		}
-		cuts[iv.name] = append(cuts[iv.name], iv.hi)
 	}
 	assign := func(name string, t float64) int {
 		cs := cuts[name]
@@ -208,10 +188,10 @@ func BuildPlanStream(src ProfileScanner, p Params, opts StreamOptions) (*Plan, e
 	}
 
 	// ---- Pass 2: exact per-cluster statistics + index reservoirs ----
-	exact := make([]stats.Online, len(intervals))
+	exact := make([]stats.Online, len(ivNames))
 	// Candidate reservoirs sized generously; trimmed to the final m later.
 	candCap := maxCandidateSize(p)
-	cands := make([]*indexReservoir, len(intervals))
+	cands := make([]*indexReservoir, len(ivNames))
 	for i := range cands {
 		cands[i] = newIndexReservoir(candCap, seedGen.Split())
 	}
@@ -227,8 +207,8 @@ func BuildPlanStream(src ProfileScanner, p Params, opts StreamOptions) (*Plan, e
 	}
 
 	// Final sizing from exact statistics.
-	statsVec := make([]ClusterStats, len(intervals))
-	for i := range intervals {
+	statsVec := make([]ClusterStats, len(ivNames))
+	for i := range statsVec {
 		o := &exact[i]
 		statsVec[i] = ClusterStats{N: o.N(), Mean: o.Mean(), StdDev: o.StdDev()}
 	}
@@ -238,11 +218,11 @@ func BuildPlanStream(src ProfileScanner, p Params, opts StreamOptions) (*Plan, e
 	}
 
 	plan := &Plan{Params: p}
-	drawGen := rng.New(rng.Derive(p.Seed, 0xd4aa))
-	for i, iv := range intervals {
+	drawGen := rng.New(rng.Derive(p.Seed, seedLabelDraw))
+	for i, name := range ivNames {
 		m := sizes[i]
 		cs := statsVec[i]
-		pc := PlanCluster{Name: iv.name, SampleSize: m, Stats: cs}
+		pc := PlanCluster{Name: name, SampleSize: m, Stats: cs}
 		if cs.N > 0 && m > 0 {
 			pool := cands[i].idxs
 			if len(pool) == 0 {
@@ -287,14 +267,6 @@ func maxCandidateSize(p Params) int {
 		m = 200000
 	}
 	return m
-}
-
-func identityIndices(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
 }
 
 func min(a, b int) int {

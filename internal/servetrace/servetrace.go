@@ -1,0 +1,314 @@
+// Package servetrace generates deterministic LLM-serving kernel traces in
+// the KernelSight-LM style (PAPERS.md, arXiv 2606.28565): requests with a
+// prefill phase and a per-token decode phase, batch-size-dependent kernel
+// durations, and bursty / diurnal / multi-tenant arrival dynamics. Traces
+// are produced on the fly in O(1) memory — a 10⁷-invocation stream is
+// never materialized — and every Scan replays the identical sequence, so a
+// Stream satisfies the re-scannable profile-scanner contract used by the
+// two-pass planner while also feeding the single-pass planner or a CSV
+// pipe.
+package servetrace
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"math"
+	"strconv"
+
+	"stemroot/internal/rng"
+)
+
+// Config shapes a serving trace. The zero value of every field selects a
+// sensible default; only Invocations is required.
+type Config struct {
+	// Seed fixes the whole trace: same Config -> bit-identical stream.
+	Seed uint64
+	// Invocations is the exact number of kernel invocations emitted.
+	Invocations int
+	// Layers is the transformer depth driving the per-phase kernel mix
+	// (default 4; each layer contributes distinct kernel names).
+	Layers int
+	// Tenants is the number of traffic sources with distinct load weights
+	// and prompt-length regimes (default 3).
+	Tenants int
+	// MaxBatch caps the simulated continuous-batching size (default 32).
+	MaxBatch int
+}
+
+func (c Config) layers() int {
+	if c.Layers <= 0 {
+		return 4
+	}
+	return c.Layers
+}
+
+func (c Config) tenants() int {
+	if c.Tenants <= 0 {
+		return 3
+	}
+	return c.Tenants
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch <= 0 {
+		return 32
+	}
+	return c.MaxBatch
+}
+
+// Stream is a deterministic, re-scannable serving-trace source.
+type Stream struct {
+	Cfg Config
+
+	names [][]byte // interned kernel names, built lazily
+}
+
+// New returns a Stream for cfg.
+func New(cfg Config) *Stream {
+	return &Stream{Cfg: cfg}
+}
+
+// Kernel-name layout: per layer {qkv, attn, mlp} × {prefill, decode}, plus
+// request-level kv_append and sampler kernels.
+const kernelsPerLayer = 3
+
+func (s *Stream) kernelNames() [][]byte {
+	if s.names != nil {
+		return s.names
+	}
+	L := s.Cfg.layers()
+	names := make([][]byte, 0, 2*kernelsPerLayer*L+2)
+	for _, phase := range []string{"prefill", "decode"} {
+		for l := 0; l < L; l++ {
+			for _, k := range []string{"qkv", "attn", "mlp"} {
+				names = append(names, []byte(k+"_"+phase+"_l"+strconv.Itoa(l)))
+			}
+		}
+	}
+	names = append(names, []byte("kv_append"), []byte("sampler"))
+	s.names = names
+	return names
+}
+
+// NumKernels reports the number of distinct kernel names the stream emits
+// — the #names term of the planner's memory bound.
+func (s *Stream) NumKernels() int { return len(s.kernelNames()) }
+
+// nameIndex layout helpers.
+func (s *Stream) prefillName(layer, k int) []byte {
+	return s.kernelNames()[layer*kernelsPerLayer+k]
+}
+
+func (s *Stream) decodeName(layer, k int) []byte {
+	L := s.Cfg.layers()
+	return s.kernelNames()[(L+layer)*kernelsPerLayer+k]
+}
+
+func (s *Stream) kvAppendName() []byte { return s.kernelNames()[len(s.kernelNames())-2] }
+func (s *Stream) samplerName() []byte  { return s.kernelNames()[len(s.kernelNames())-1] }
+
+// genState is the per-Scan generator state; a fresh one per Scan is what
+// makes the stream re-scannable.
+type genState struct {
+	r *rng.Rand
+
+	reqIndex  int
+	batch     float64 // smoothed continuous-batching size
+	burstLeft int     // requests remaining in the current burst
+	burstMul  float64
+
+	tenantW []float64 // cumulative tenant weights
+}
+
+func (s *Stream) newGen() *genState {
+	g := &genState{
+		r:        rng.New(rng.Derive(s.Cfg.Seed, 0x5e8f7a0e)),
+		batch:    1,
+		burstMul: 1,
+	}
+	// Tenant load weights: deterministic, skewed (tenant 0 heaviest).
+	T := s.Cfg.tenants()
+	g.tenantW = make([]float64, T)
+	var cum float64
+	for i := 0; i < T; i++ {
+		cum += 1 / float64(i+1)
+		g.tenantW[i] = cum
+	}
+	for i := range g.tenantW {
+		g.tenantW[i] /= cum
+	}
+	return g
+}
+
+// load returns the instantaneous arrival intensity in [0.05, ~3]:
+// a diurnal sinusoid over the request index modulated by Poisson-ish
+// bursts.
+func (g *genState) load() float64 {
+	diurnal := 0.55 + 0.45*math.Sin(2*math.Pi*float64(g.reqIndex)/4096)
+	if g.burstLeft > 0 {
+		g.burstLeft--
+	} else {
+		g.burstMul = 1
+		if g.r.Float64() < 0.02 { // a burst starts
+			g.burstLeft = 8 + g.r.Intn(56)
+			g.burstMul = 2 + 2*g.r.Float64()
+		}
+	}
+	return diurnal * g.burstMul
+}
+
+// request describes one serving request's generation parameters.
+type request struct {
+	tenant  int
+	prompt  int // prefill tokens
+	decode  int // output tokens
+	batch   int // continuous-batching size during this request
+	durMul  float64
+	kvScale float64
+}
+
+func (s *Stream) nextRequest(g *genState) request {
+	ld := g.load()
+	// Continuous batching: the smoothed batch size tracks load.
+	g.batch += 0.3 * (ld*float64(s.Cfg.maxBatch())/3 - g.batch)
+	b := int(g.batch + 0.5)
+	if b < 1 {
+		b = 1
+	}
+	if mb := s.Cfg.maxBatch(); b > mb {
+		b = mb
+	}
+
+	// Tenant by cumulative weight; tenants differ in prompt regimes.
+	u := g.r.Float64()
+	tenant := 0
+	for u > g.tenantW[tenant] && tenant < len(g.tenantW)-1 {
+		tenant++
+	}
+	prompt := int(64 * (1 + float64(tenant)) * math.Exp(0.5*g.r.NormFloat64()))
+	if prompt < 8 {
+		prompt = 8
+	}
+	if prompt > 8192 {
+		prompt = 8192
+	}
+	decode := int(32 * math.Exp(0.6*g.r.NormFloat64()))
+	if decode < 1 {
+		decode = 1
+	}
+	if decode > 1024 {
+		decode = 1024
+	}
+	g.reqIndex++
+	return request{
+		tenant:  tenant,
+		prompt:  prompt,
+		decode:  decode,
+		batch:   b,
+		durMul:  math.Exp(0.08 * g.r.NormFloat64()),
+		kvScale: 1 + float64(prompt)/2048,
+	}
+}
+
+// Duration model (microseconds). Prefill kernels scale with prompt length
+// (attention quadratically, saturated); decode kernels scale with batch
+// size and KV length. Each emission carries small lognormal noise.
+func (s *Stream) prefillDur(g *genState, req request, k int) float64 {
+	p := float64(req.prompt)
+	base := [kernelsPerLayer]float64{
+		0.004 * p,                 // qkv projection: linear in tokens
+		0.0008 * p * math.Sqrt(p), // attention: superlinear, saturated
+		0.006 * p,                 // mlp
+	}[k]
+	return (base + 2) * req.durMul * math.Exp(0.05*g.r.NormFloat64())
+}
+
+func (s *Stream) decodeDur(g *genState, req request, k int, kvLen int) float64 {
+	b := float64(req.batch)
+	base := [kernelsPerLayer]float64{
+		1.5 + 0.12*b,                           // qkv: batch-bound
+		0.8 + 0.10*b + 0.0015*float64(kvLen)*b, // attention: KV-length bound
+		2.0 + 0.18*b,                           // mlp
+	}[k]
+	return base * req.durMul * math.Exp(0.05*g.r.NormFloat64())
+}
+
+// ScanBytes yields exactly Cfg.Invocations (name, duration) pairs, with
+// names as interned []byte slices (valid beyond the call — they are owned
+// by the Stream). Every call replays the identical sequence.
+func (s *Stream) ScanBytes(yield func(name []byte, timeUS float64) bool) error {
+	if s.Cfg.Invocations <= 0 {
+		return errors.New("servetrace: Config.Invocations must be positive")
+	}
+	g := s.newGen()
+	L := s.Cfg.layers()
+	remaining := s.Cfg.Invocations
+	emit := func(name []byte, d float64) bool {
+		remaining--
+		return yield(name, d) && remaining > 0
+	}
+	for remaining > 0 {
+		req := s.nextRequest(g)
+		// Prefill: one pass over the layers.
+		for l := 0; l < L; l++ {
+			for k := 0; k < kernelsPerLayer; k++ {
+				if !emit(s.prefillName(l, k), s.prefillDur(g, req, k)) {
+					return nil
+				}
+			}
+		}
+		// Decode: per output token, a layer sweep plus KV append + sampling.
+		for tok := 0; tok < req.decode; tok++ {
+			kvLen := req.prompt + tok
+			for l := 0; l < L; l++ {
+				for k := 0; k < kernelsPerLayer; k++ {
+					if !emit(s.decodeName(l, k), s.decodeDur(g, req, k, kvLen)) {
+						return nil
+					}
+				}
+			}
+			if !emit(s.kvAppendName(), (0.4+0.02*float64(req.batch))*req.kvScale*math.Exp(0.05*g.r.NormFloat64())) {
+				return nil
+			}
+			if !emit(s.samplerName(), 0.6+0.03*float64(req.batch)) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Scan implements the re-scannable string-name profile-scanner contract
+// (one string conversion per row; use ScanBytes for the zero-alloc path).
+func (s *Stream) Scan(yield func(name string, timeUS float64) bool) error {
+	return s.ScanBytes(func(name []byte, t float64) bool {
+		return yield(string(name), t)
+	})
+}
+
+// WriteCSV streams the trace as a profile CSV ("seq,name,time_us") without
+// materializing it; the writer side allocates only its buffers.
+func (s *Stream) WriteCSV(out io.Writer) error {
+	bw := bufio.NewWriterSize(out, 1<<20)
+	if _, err := bw.WriteString("seq,name,time_us\n"); err != nil {
+		return err
+	}
+	var row []byte
+	seq := 0
+	err := s.ScanBytes(func(name []byte, t float64) bool {
+		row = strconv.AppendInt(row[:0], int64(seq), 10)
+		row = append(row, ',')
+		row = append(row, name...)
+		row = append(row, ',')
+		row = strconv.AppendFloat(row, t, 'g', -1, 64)
+		row = append(row, '\n')
+		seq++
+		_, werr := bw.Write(row)
+		return werr == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTempCSV(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "profile.csv")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func collect(t *testing.T, s interface {
+	Scan(func(string, float64) bool) error
+}) ([]string, []float64) {
+	t.Helper()
+	var names []string
+	var times []float64
+	if err := s.Scan(func(n string, v float64) bool {
+		names = append(names, n)
+		times = append(times, v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return names, times
+}
+
+func TestFastCSVScannerMatchesCSVScanner(t *testing.T) {
+	body := "seq,name,time_us\r\n" +
+		"0,gemm,1.5\n" +
+		"1,softmax,2.25e-1\r\n" +
+		"\n" + // blank line: skipped by both
+		"2,\"quoted,name\",3\n" +
+		"3,layer norm,4.125" // no trailing newline
+	p := writeTempCSV(t, body)
+
+	wantN, wantT := collect(t, CSVScanner{Path: p})
+	gotN, gotT := collect(t, FastCSVScanner{Path: p})
+	if len(wantN) != len(gotN) {
+		t.Fatalf("row count: fast %d vs csv %d", len(gotN), len(wantN))
+	}
+	for i := range wantN {
+		if wantN[i] != gotN[i] || wantT[i] != gotT[i] {
+			t.Fatalf("row %d: fast (%q,%v) vs csv (%q,%v)", i, gotN[i], gotT[i], wantN[i], wantT[i])
+		}
+	}
+	if wantN[2] != "quoted,name" {
+		t.Fatalf("quoted field parsed as %q", wantN[2])
+	}
+}
+
+func TestFastCSVScannerEarlyStop(t *testing.T) {
+	p := writeTempCSV(t, "seq,name,time_us\n0,a,1\n1,b,2\n2,c,3\n")
+	count := 0
+	if err := (FastCSVScanner{Path: p}).Scan(func(string, float64) bool {
+		count++
+		return count < 2
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("early stop scanned %d rows", count)
+	}
+}
+
+func TestFastCSVScannerRescannable(t *testing.T) {
+	p := writeTempCSV(t, "seq,name,time_us\n0,a,1\n1,b,2\n")
+	s := FastCSVScanner{Path: p}
+	n1, t1 := collect(t, s)
+	n2, t2 := collect(t, s)
+	if len(n1) != 2 || len(n2) != 2 || n1[0] != n2[0] || t1[1] != t2[1] {
+		t.Fatal("second Scan differs from first")
+	}
+}
+
+func TestParseProfileRecordErrors(t *testing.T) {
+	cases := []string{
+		"",                // empty
+		"0",               // one field
+		"0,a",             // two fields
+		"0,a,1,extra",     // four fields
+		"0,a,notanumber",  // bad float
+		"0,a,1e",          // truncated float
+		"0,\"unclosed,1",  // quote error
+		"0,a,\"1\" trail", // csv extraneous text after quote
+	}
+	for _, c := range cases {
+		if _, _, err := ParseProfileRecord([]byte(c)); err == nil {
+			t.Fatalf("ParseProfileRecord(%q) = nil error", c)
+		}
+	}
+	name, v, err := ParseProfileRecord([]byte("7,kern,42.5\r\n"))
+	if err != nil || string(name) != "kern" || v != 42.5 {
+		t.Fatalf("valid row parsed as (%q,%v,%v)", name, v, err)
+	}
+}
+
+func TestFastCSVScannerHeaderErrors(t *testing.T) {
+	for _, body := range []string{
+		"",
+		"wrong,header,here\n0,a,1\n",
+		"seq,name\n",
+	} {
+		p := writeTempCSV(t, body)
+		if err := (FastCSVScanner{Path: p}).Scan(func(string, float64) bool { return true }); err == nil {
+			t.Fatalf("expected header error for %q", body)
+		}
+	}
+}
+
+func TestFastCSVScannerHugeLine(t *testing.T) {
+	// A row far longer than the bufio window must spill, not corrupt.
+	long := strings.Repeat("k", 3<<20)
+	p := writeTempCSV(t, "seq,name,time_us\n0,"+long+",9\n1,b,2\n")
+	names, times := collect(t, FastCSVScanner{Path: p})
+	if len(names) != 2 || names[0] != long || times[0] != 9 || names[1] != "b" {
+		t.Fatalf("huge-line scan: %d rows, len(name0)=%d", len(names), len(names[0]))
+	}
+}
+
+func TestScanBytesAllocFree(t *testing.T) {
+	// Steady-state row decoding allocates nothing: names are yielded as
+	// views into the read buffer.
+	var rows []string
+	for i := 0; i < 20000; i++ {
+		rows = append(rows, "1,kernel_name_with_some_length,123.456\n")
+	}
+	body := "seq,name,time_us\n" + strings.Join(rows, "")
+	p := writeTempCSV(t, body)
+
+	allocs := testing.AllocsPerRun(3, func() {
+		var n int
+		if err := (FastCSVScanner{Path: p}).ScanBytes(func(name []byte, v float64) bool {
+			n++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n != 20000 {
+			t.Fatalf("scanned %d rows", n)
+		}
+	})
+	// Per-scan setup (open file, bufio buffer, closure) is a handful of
+	// allocations; the 20000 row decodes must contribute zero.
+	if allocs > 10 {
+		t.Fatalf("ScanBytes allocates %v per full scan (want setup-only)", allocs)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package stemroot_test
+
+const raceEnabled = false

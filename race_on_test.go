@@ -1,0 +1,7 @@
+//go:build race
+
+package stemroot_test
+
+// raceEnabled gates heap-accounting tests that are meaningless under the
+// race runtime's memory overhead.
+const raceEnabled = true

@@ -15,7 +15,7 @@
 #                       diffable in-repo
 #
 # Usage: [PR=n] scripts/bench.sh [benchtime] [out.json]
-#   PR         PR number stamped into the artifacts (default 8)
+#   PR         PR number stamped into the artifacts (default 9)
 #   benchtime  go -benchtime value (default 3x; CI smoke uses 1x)
 #   out.json   output path (default BENCH_PR${PR}.json next to the repo root)
 #
@@ -55,10 +55,19 @@
 # error <= 2% at the default epoch. The default-point error numbers are
 # embedded in the JSON under "epochsweep" so the accuracy trajectory is
 # tracked alongside the perf trajectory.
+#
+# Streaming section (PR 9): BenchmarkStreamIngest/{onepass,twopass} runs the
+# planner end to end over the same 2M-invocation serving-trace CSV — onepass
+# is the single-pass IncrementalPlanner fed by the zero-alloc byte decoder,
+# twopass the original SampleStream over encoding/csv. The gate holds the
+# one-pass path to at least 2x the two-pass throughput (twopass/onepass
+# ns_per_op >= 2). BenchmarkIncrementalPlan tracks the amortized cost of one
+# re-plan from warm reservoirs (the per-re-plan, not per-invocation, price a
+# serving deployment pays).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-8}"
+PR="${PR:-9}"
 BENCHTIME="${1:-3x}"
 OUT="${2:-BENCH_PR${PR}.json}"
 RAW="${OUT%.json}.txt"
@@ -71,6 +80,7 @@ run_bench() {
   run_bench 'BenchmarkFullSim' ./internal/pipeline/   # also matches FullSimCached
   run_bench 'BenchmarkRunKernel' ./internal/gpu/
   run_bench 'BenchmarkBuildClusters|BenchmarkStreamingPlan|BenchmarkPlanPhoton|BenchmarkPlanPKA' .
+  run_bench 'BenchmarkStreamIngest|BenchmarkIncrementalPlan' .
   run_bench 'BenchmarkRemoteWarm|BenchmarkDSECached' ./internal/cachenet/
 } | tee "$RAW"
 
@@ -203,6 +213,30 @@ cat > "$OUT" <<EOF
     {"name": "DSECached/cold", "ns_per_op": 6306487522, "bytes_per_op": 342964944, "allocs_per_op": 150340},
     {"name": "DSECached/warm-remote", "ns_per_op": 71379350, "bytes_per_op": 103695434, "allocs_per_op": 54995}
   ],
+  "baseline_pr8": [
+    {"name": "FullSim/j1", "ns_per_op": 309078404, "bytes_per_op": 773304, "allocs_per_op": 288},
+    {"name": "FullSim/j2", "ns_per_op": 317558687, "bytes_per_op": 773304, "allocs_per_op": 288},
+    {"name": "FullSim/j4", "ns_per_op": 303726424, "bytes_per_op": 773304, "allocs_per_op": 288},
+    {"name": "FullSim/j8", "ns_per_op": 323004711, "bytes_per_op": 773304, "allocs_per_op": 288},
+    {"name": "FullSim/j16", "ns_per_op": 299181308, "bytes_per_op": 773304, "allocs_per_op": 288},
+    {"name": "FullSimCached/cold", "ns_per_op": 297544180, "bytes_per_op": 800232, "allocs_per_op": 356},
+    {"name": "FullSimCached/warm", "ns_per_op": 63775, "bytes_per_op": 23768, "allocs_per_op": 34},
+    {"name": "RunKernel", "ns_per_op": 9743589, "bytes_per_op": 0, "allocs_per_op": 0},
+    {"name": "RunKernelPar/j1", "ns_per_op": 9291325, "bytes_per_op": 0, "allocs_per_op": 0},
+    {"name": "RunKernelPar/j2", "ns_per_op": 9091004, "bytes_per_op": 0, "allocs_per_op": 0},
+    {"name": "RunKernelPar/j4", "ns_per_op": 9115631, "bytes_per_op": 0, "allocs_per_op": 0},
+    {"name": "RunKernelPar/j8", "ns_per_op": 9126569, "bytes_per_op": 0, "allocs_per_op": 0},
+    {"name": "BuildClusters/rodinia", "ns_per_op": 1622508, "bytes_per_op": 294456, "allocs_per_op": 100},
+    {"name": "BuildClusters/casio", "ns_per_op": 8265037, "bytes_per_op": 1714216, "allocs_per_op": 137},
+    {"name": "BuildClusters/hf", "ns_per_op": 51360670, "bytes_per_op": 9649608, "allocs_per_op": 110},
+    {"name": "StreamingPlan", "ns_per_op": 51573494, "bytes_per_op": 14256424, "allocs_per_op": 761},
+    {"name": "PlanPhoton", "ns_per_op": 16632513, "bytes_per_op": 5387104, "allocs_per_op": 10231},
+    {"name": "PlanPKA", "ns_per_op": 58283139, "bytes_per_op": 14505304, "allocs_per_op": 10541},
+    {"name": "RemoteWarm/batched", "ns_per_op": 3318484, "bytes_per_op": 508496, "allocs_per_op": 563},
+    {"name": "RemoteWarm/single", "ns_per_op": 7784412, "bytes_per_op": 479920, "allocs_per_op": 4137},
+    {"name": "DSECached/cold", "ns_per_op": 6196672295, "bytes_per_op": 342995336, "allocs_per_op": 150375},
+    {"name": "DSECached/warm-remote", "ns_per_op": 71290080, "bytes_per_op": 103723000, "allocs_per_op": 54999}
+  ],
   "epochsweep": {"default_epoch": $es_epoch, "max_error_pct": $es_max, "mean_error_pct": $es_mean, "workloads": $es_n},
   "benchmarks": [
 $(cat /tmp/bench_rows.$$)
@@ -309,6 +343,24 @@ elif [ -n "$par_j4" ] && [ -n "$rk_serial" ]; then
   }'
 else
   echo "bench.sh: intra-kernel gate skipped (RunKernelPar/j4 or RunKernel row not found in $RAW)" >&2
+fi
+
+# Streaming-ingest gate (PR 9): the single-pass planner over the zero-alloc
+# byte decoder must finish the same 2M-invocation serving trace in at most
+# half the time of the two-pass SampleStream path (measured 3.9x on the dev
+# machine; 2x leaves room for slow-I/O CI containers).
+si_one="$(bench_ns 'StreamIngest/onepass')"; si_two="$(bench_ns 'StreamIngest/twopass')"
+if [ -n "$si_one" ] && [ -n "$si_two" ]; then
+  awk -v one="$si_one" -v two="$si_two" 'BEGIN {
+    speedup = two / one
+    if (speedup < 2.0) {
+      printf "bench.sh: streaming gate FAILED: StreamIngest twopass/onepass = %.2fx (must be >= 2)\n", speedup
+      exit 1
+    }
+    printf "bench.sh: streaming gate ok: StreamIngest twopass/onepass = %.2fx (must be >= 2)\n", speedup
+  }'
+else
+  echo "bench.sh: streaming gate skipped (StreamIngest rows not found in $RAW)" >&2
 fi
 
 # Epoch-accuracy gate (PR 8): the relaxed-sync engine's default configuration

@@ -12,12 +12,34 @@ type Scanner interface {
 	Scan(yield func(name string, timeUS float64) bool) error
 }
 
-// StreamOptions tunes SampleStream's memory/accuracy tradeoff.
+// StreamOptions tunes the memory/accuracy tradeoff of SampleStream and
+// StreamPlanner.
 type StreamOptions struct {
 	// ReservoirCap bounds the per-kernel time sample used for clustering;
-	// 0 means 8192. Peak memory is O(kernel names x ReservoirCap),
-	// independent of trace length.
+	// 0 means 8192. Peak memory has two bounded terms — O(#names ×
+	// ReservoirCap) for the clustering reservoirs plus O(#clusters ×
+	// maxSampleSize) for the candidate sample pools — both independent of
+	// trace length.
 	ReservoirCap int
+
+	// ReplanEvery is StreamPlanner's amortization factor: a cached plan is
+	// re-derived once the invocation count grows by this multiple since
+	// the last re-plan (0 means 2, the doubling schedule). SampleStream
+	// ignores it.
+	ReplanEvery float64
+
+	// DriftTol re-plans early when any kernel's exact running mean moves
+	// by more than this fraction since the last re-plan (0 means 0.25;
+	// negative disables the drift trigger). SampleStream ignores it.
+	DriftTol float64
+}
+
+func (o StreamOptions) core() core.StreamOptions {
+	return core.StreamOptions{
+		ReservoirCap: o.ReservoirCap,
+		ReplanEvery:  o.ReplanEvery,
+		DriftTol:     o.DriftTol,
+	}
 }
 
 // SampleStream is Sample for out-of-core profiles: two sequential passes
@@ -25,12 +47,16 @@ type StreamOptions struct {
 // bounded memory. Cluster statistics are exact (streamed); the clustering
 // itself runs on per-kernel uniform reservoirs.
 func SampleStream(src Scanner, opts Options, sopts StreamOptions) (*Plan, error) {
-	cp, err := core.BuildPlanStream(scannerAdapter{src}, opts.params(),
-		core.StreamOptions{ReservoirCap: sopts.ReservoirCap})
+	cp, err := core.BuildPlanStream(scannerAdapter{src}, opts.params(), sopts.core())
 	if err != nil {
 		return nil, err
 	}
-	p := opts.params()
+	return convertStreamPlan(cp, opts.params()), nil
+}
+
+// convertStreamPlan maps an internal streaming plan (no materialized
+// members) to the public shape.
+func convertStreamPlan(cp *core.Plan, p core.Params) *Plan {
 	plan := &Plan{
 		PredictedError: cp.PredictedError,
 		Epsilon:        p.Epsilon,
@@ -48,7 +74,122 @@ func SampleStream(src Scanner, opts Options, sopts StreamOptions) (*Plan, error)
 			StdDev:  c.Stats.StdDev,
 		})
 	}
-	return plan, nil
+	return plan
+}
+
+// StreamPlanner maintains a sampling plan over a live profile stream in a
+// single pass and bounded memory — the service-mode counterpart of
+// SampleStream. Feed invocations with Add (or AddBytes on the zero-alloc
+// hot path), then read rolling results with Snapshot or CurrentPlan; plans
+// are re-derived on an amortized schedule (see StreamOptions), so per-
+// invocation cost stays O(1). A StreamPlanner must be confined to one
+// goroutine.
+type StreamPlanner struct {
+	ip *core.IncrementalPlanner
+	p  core.Params
+}
+
+// NewStreamPlanner validates the options and returns an empty planner.
+func NewStreamPlanner(opts Options, sopts StreamOptions) (*StreamPlanner, error) {
+	p := opts.params()
+	ip, err := core.NewIncrementalPlanner(p, sopts.core())
+	if err != nil {
+		return nil, err
+	}
+	return &StreamPlanner{ip: ip, p: p}, nil
+}
+
+// Add ingests one invocation.
+func (sp *StreamPlanner) Add(name string, timeUS float64) { sp.ip.Add(name, timeUS) }
+
+// AddBytes ingests one invocation with a []byte kernel name, allocating
+// only the first time a name is seen (interned in a byte-keyed symbol
+// table) — the steady state is allocation-free.
+func (sp *StreamPlanner) AddBytes(name []byte, timeUS float64) { sp.ip.AddBytes(name, timeUS) }
+
+// Count returns the number of invocations ingested.
+func (sp *StreamPlanner) Count() int { return sp.ip.Count() }
+
+// Kernels returns the number of distinct kernel names seen.
+func (sp *StreamPlanner) Kernels() int { return sp.ip.Names() }
+
+// TotalTime returns the exact (compensated) sum of ingested times in µs.
+func (sp *StreamPlanner) TotalTime() float64 { return sp.ip.TotalTime() }
+
+// Replans returns how many times the plan has been re-derived.
+func (sp *StreamPlanner) Replans() int { return sp.ip.Replans() }
+
+// CurrentPlan returns the plan for everything ingested so far, re-deriving
+// it only when the amortized schedule says the cached one is stale.
+// Cluster sample indices are invocation positions in the stream (0-based).
+func (sp *StreamPlanner) CurrentPlan() (*Plan, error) {
+	cp, err := sp.ip.CurrentPlan()
+	if err != nil {
+		return nil, err
+	}
+	return convertStreamPlan(cp, sp.p), nil
+}
+
+// Plan forces a fresh re-derivation regardless of the schedule. The result
+// is deterministic in (stream, seed): forcing extra re-plans never changes
+// the final plan.
+func (sp *StreamPlanner) Plan() (*Plan, error) {
+	cp, err := sp.ip.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return convertStreamPlan(cp, sp.p), nil
+}
+
+// Snapshot is a rolling summary of the stream and its current plan.
+type Snapshot struct {
+	// Invocations and Kernels describe the stream so far.
+	Invocations int
+	Kernels     int
+	// TotalTimeUS is the exact profiled total; ExtrapolatedUS is the
+	// plan's estimate of it from the drawn samples alone — their relative
+	// gap is a live accuracy signal.
+	TotalTimeUS    float64
+	ExtrapolatedUS float64
+	// Clusters, TotalSamples, DistinctTimeUS and PredictedError summarize
+	// the current plan.
+	Clusters       int
+	TotalSamples   int
+	DistinctTimeUS float64
+	PredictedError float64
+	// Replans counts plan re-derivations since the start of the stream.
+	Replans int
+}
+
+// Snapshot returns the rolling summary, re-deriving the plan only if the
+// amortized schedule requires it.
+func (sp *StreamPlanner) Snapshot() (Snapshot, error) {
+	cp, err := sp.ip.CurrentPlan()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	samples := 0
+	for i := range cp.Clusters {
+		samples += cp.Clusters[i].SampleSize
+	}
+	// The plan's estimate extrapolates the total at plan time; scale it
+	// forward to the current invocation count so the snapshot gap tracks
+	// both sampling error and post-plan drift.
+	extrap := sp.ip.LastEstimate()
+	if at := sp.ip.PlanAt(); at > 0 {
+		extrap *= float64(sp.ip.Count()) / float64(at)
+	}
+	return Snapshot{
+		Invocations:    sp.ip.Count(),
+		Kernels:        sp.ip.Names(),
+		TotalTimeUS:    sp.ip.TotalTime(),
+		ExtrapolatedUS: extrap,
+		Clusters:       len(cp.Clusters),
+		TotalSamples:   samples,
+		DistinctTimeUS: sp.ip.LastSampledTime(),
+		PredictedError: cp.PredictedError,
+		Replans:        sp.ip.Replans(),
+	}, nil
 }
 
 // scannerAdapter bridges the public Scanner to the internal interface.
