@@ -31,6 +31,7 @@ import (
 
 	"stemroot/internal/core"
 	"stemroot/internal/gpu"
+	"stemroot/internal/metrics"
 	"stemroot/internal/pipeline"
 	"stemroot/internal/sampling"
 )
@@ -69,16 +70,25 @@ type Config struct {
 	// KernelWorkers is the intra-kernel worker count for the par engine
 	// (<= 0: one per CPU). Ignored in exact mode; never affects results.
 	KernelWorkers int
+	// MergeWorkers is the par engine's epoch-barrier merge worker count
+	// (<= 0: follows KernelWorkers). Ignored in exact mode; never affects
+	// results.
+	MergeWorkers int
 	// Epoch is the par engine's epoch length in simulated cycles (<= 0:
 	// gpu.DefaultEpoch). Ignored in exact mode.
 	Epoch float64
+	// BarrierStats, when non-nil, accumulates epoch-barrier accounting
+	// from every par-mode kernel the runners execute. Observability only.
+	BarrierStats *metrics.BarrierCollector
 }
 
 // pipelineOpts builds the simulation pipeline options from the config.
 func (c Config) pipelineOpts() pipeline.Options {
 	return pipeline.Options{
 		Workers: c.Parallelism, Cache: c.Cache,
-		Engine: c.Engine, KernelWorkers: c.KernelWorkers, Epoch: c.Epoch,
+		Engine: c.Engine, KernelWorkers: c.KernelWorkers,
+		MergeWorkers: c.MergeWorkers, Epoch: c.Epoch,
+		BarrierStats: c.BarrierStats,
 	}
 }
 
@@ -89,7 +99,9 @@ func (c Config) pipelineOpts() pipeline.Options {
 func (c Config) serialSimOpts() pipeline.Options {
 	return pipeline.Options{
 		Workers: 1, Cache: c.Cache,
-		Engine: c.Engine, KernelWorkers: c.KernelWorkers, Epoch: c.Epoch,
+		Engine: c.Engine, KernelWorkers: c.KernelWorkers,
+		MergeWorkers: c.MergeWorkers, Epoch: c.Epoch,
+		BarrierStats: c.BarrierStats,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"stemroot/internal/gpu"
 	"stemroot/internal/kernelgen"
+	"stemroot/internal/metrics"
 	"stemroot/internal/parallel"
 	"stemroot/internal/pipeline"
 )
@@ -32,6 +33,20 @@ type EpochSweepPoint struct {
 	// measurement and varies run to run (and is ~1x on single-core hosts,
 	// where the intra-kernel workers clamp to one).
 	Speedup float64
+	// Replayed and Misses count the shared-L2 accesses replayed at this
+	// epoch length's barrier merges and how many of them missed, summed
+	// over all workloads. Deterministic for every Parallelism and worker
+	// count (they are properties of the simulated access streams, not the
+	// schedule). They drift only slightly across rows: epoch length shifts
+	// corrected timings, which shifts which accesses each shard issues.
+	// A cache pre-warmed by an earlier run suppresses them (cached segments
+	// never reach the engine), same as Speedup.
+	Replayed int64
+	Misses   int64
+	// MergeSharePct is the merge phase's share of par-engine kernel time
+	// (see metrics.BarrierStats.MergeSharePct) — a wall-clock measurement,
+	// rendered with the timing half, not the deterministic table.
+	MergeSharePct float64
 }
 
 // EpochSweepResult holds the sweep: how much accuracy the relaxed-sync
@@ -98,14 +113,25 @@ func EpochSweep(cfg Config) (*EpochSweepResult, error) {
 
 	res := &EpochSweepResult{Workloads: len(ws), ExactSec: exactSec}
 	for _, epoch := range EpochSweepEpochs {
+		var barrier metrics.BarrierCollector
 		par, parSec, err := totals(pipeline.Options{
 			Workers: 1, Cache: cfg.Cache,
-			Engine: gpu.EngineModePar, KernelWorkers: cfg.KernelWorkers, Epoch: epoch,
+			Engine: gpu.EngineModePar, KernelWorkers: cfg.KernelWorkers,
+			MergeWorkers: cfg.MergeWorkers, Epoch: epoch,
+			BarrierStats: &barrier,
 		})
 		if err != nil {
 			return nil, err
 		}
-		pt := EpochSweepPoint{Epoch: epoch, Default: epoch == gpu.DefaultEpoch}
+		snap := barrier.Snapshot()
+		if cfg.BarrierStats != nil {
+			cfg.BarrierStats.Add(snap) // session-wide -barrierstats report
+		}
+		pt := EpochSweepPoint{
+			Epoch: epoch, Default: epoch == gpu.DefaultEpoch,
+			Replayed: snap.Replayed, Misses: snap.Misses,
+			MergeSharePct: snap.MergeSharePct(),
+		}
 		for wi := range ws {
 			e := 0.0
 			if exact[wi] > 0 {
@@ -147,12 +173,15 @@ func (r *EpochSweepResult) Render() string {
 			fmt.Sprintf("%.3f", p.MeanErrorPct),
 			fmt.Sprintf("%.3f", p.MaxErrorPct),
 			p.MaxWorkload,
+			fmt.Sprintf("%d", p.Replayed),
+			fmt.Sprintf("%d", p.Misses),
 		})
 	}
-	writeTable(&b, []string{"epoch", "mean err(%)", "max err(%)", "worst workload"}, rows)
+	writeTable(&b, []string{"epoch", "mean err(%)", "max err(%)", "worst workload", "replayed", "misses"}, rows)
 	d := r.DefaultPoint()
-	fmt.Fprintf(&b, "\ndefault epoch %.0f: max error %.3f%% mean %.3f%% across %d workloads\n",
-		d.Epoch, d.MaxErrorPct, d.MeanErrorPct, r.Workloads)
+	// New fields append at the end: bench.sh parses this line by position.
+	fmt.Fprintf(&b, "\ndefault epoch %.0f: max error %.3f%% mean %.3f%% across %d workloads replayed %d misses %d\n",
+		d.Epoch, d.MaxErrorPct, d.MeanErrorPct, r.Workloads, d.Replayed, d.Misses)
 	return b.String()
 }
 
@@ -165,6 +194,10 @@ func (r *EpochSweepResult) RenderTiming() string {
 	fmt.Fprintf(&b, "epochsweep wall clock: exact %.1fs; par speedup", r.ExactSec)
 	for _, p := range r.Points {
 		fmt.Fprintf(&b, " %.0f=%.2fx", p.Epoch, p.Speedup)
+	}
+	b.WriteString("\nepochsweep merge share: barrier merge % of par kernel time")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, " %.0f=%.1f%%", p.Epoch, p.MergeSharePct)
 	}
 	b.WriteString("\n")
 	return b.String()

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"stemroot/internal/kernelgen"
+	"stemroot/internal/metrics"
 )
 
 // ParEngineFingerprint names the relaxed-sync parallel engine's behaviour
@@ -40,13 +41,22 @@ const (
 //     approximate relative to exact mode, with the error measured by
 //     `experiments -run epochsweep`.
 //
-// Workers and Epoch are ignored in exact mode. In par mode Epoch <= 0 selects
-// DefaultEpoch; Workers <= 0 selects one per CPU. Workers is deliberately NOT
-// part of the segment cache key (it cannot change results); Epoch is.
+// Workers, MergeWorkers, and Epoch are ignored in exact mode. In par mode
+// Epoch <= 0 selects DefaultEpoch; Workers <= 0 selects one per CPU;
+// MergeWorkers <= 0 follows Workers (one pool serves shard execution and the
+// barrier merge). Workers and MergeWorkers are deliberately NOT part of the
+// segment cache key (they cannot change results); Epoch is.
+//
+// Barrier, when non-nil, receives per-kernel epoch-barrier accounting from
+// par-mode runs (see metrics.BarrierCollector). It is observability only —
+// no effect on results, keys, or engine equality semantics (normalized
+// clears it in exact mode alongside the other par-only fields).
 type Engine struct {
-	Mode    string
-	Workers int
-	Epoch   float64
+	Mode         string
+	Workers      int
+	MergeWorkers int
+	Epoch        float64
+	Barrier      *metrics.BarrierCollector
 }
 
 // Validate rejects unknown modes and non-finite epochs. An empty Mode is
@@ -72,7 +82,7 @@ func (e Engine) normalized() Engine {
 		e.Mode = EngineModeExact
 	}
 	if e.Mode == EngineModeExact {
-		e.Workers, e.Epoch = 0, 0
+		e.Workers, e.MergeWorkers, e.Epoch, e.Barrier = 0, 0, 0, nil
 		return e
 	}
 	if e.Epoch <= 0 {
@@ -89,7 +99,10 @@ func (e Engine) runKernel(sim *Simulator, spec *kernelgen.Spec) KernelResult {
 	if e.exact() {
 		return sim.RunKernel(spec)
 	}
-	return sim.RunKernelPar(spec, e.Workers, e.Epoch)
+	if sim.barrier != e.Barrier {
+		sim.SetBarrierCollector(e.Barrier)
+	}
+	return sim.RunKernelParMerge(spec, e.Workers, e.MergeWorkers, e.Epoch)
 }
 
 // KeyForSegmentEngine derives the content address of a replay segment under

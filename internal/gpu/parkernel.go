@@ -4,8 +4,10 @@ import (
 	"context"
 	"math"
 	"runtime/pprof"
+	"time"
 
 	"stemroot/internal/kernelgen"
+	"stemroot/internal/metrics"
 	"stemroot/internal/parallel"
 )
 
@@ -53,16 +55,16 @@ type smShard struct {
 	// merge replay) and the fill the shard charged in-epoch. Applied to the
 	// slot's live heap entry (and held entry) at the barrier, then zeroed.
 	// Indexed like warps; grown alongside it.
-	corr      []float64
-	held      heapEntry // next event, carried across the epoch boundary
-	hasHeld   bool
-	dramFree  float64     // in-epoch bandwidth-queue estimate (reset to the global value at each epoch start)
-	acc       []parAccess // shared-L2 accesses buffered for the barrier merge
-	finish    float64
-	instrs    int64
-	l1Hits    uint64
-	l1Misses  uint64
-	done      bool
+	corr     []float64
+	held     heapEntry // next event, carried across the epoch boundary
+	hasHeld  bool
+	dramFree float64     // in-epoch bandwidth-queue estimate (reset to the global value at each epoch start)
+	acc      []parAccess // shared-L2 accesses buffered for the barrier merge
+	finish   float64
+	instrs   int64
+	l1Hits   uint64
+	l1Misses uint64
+	done     bool
 
 	// Self-fetch overlay: a direct-mapped, epoch-stamped table of the line
 	// tags this SM itself fetched from DRAM during the CURRENT epoch. The
@@ -77,6 +79,17 @@ type smShard struct {
 	// across worker counts is untouched.
 	ovTag   []uint64
 	ovEpoch []uint32
+
+	// Banked-merge scratch (active only when merge workers are available;
+	// the serial path never touches these, keeping it allocation-free).
+	// bucketShard fills bankIdx (per-access bank, later reused as phase 1's
+	// miss flag), bankOrd/bankOff (the stable by-bank index partition), and
+	// the phases fill `fill` with each access's true fill latency.
+	fill    []float64
+	bankIdx []int32
+	bankOrd []int32
+	bankOff []int32
+	bankCur []int32
 }
 
 // parOverlayBits sizes the self-fetch overlay: 2^12 = 4096 entries (48 KiB)
@@ -123,6 +136,52 @@ type parEngine struct {
 	// epochs. The live count is a pure function of shard states at the
 	// barrier — deterministic for any worker count.
 	svc float64
+
+	// Merge configuration for the current kernel (parSetupMerge): worker
+	// counts, bank geometry, and whether the banked path is armed.
+	nw, mw     int
+	nbanks     int
+	bankShift  uint
+	bankPow2   bool
+	wantBanked bool
+
+	// Banked-merge coordinator state: per-bank access-count prefix (the
+	// stamp bases), per-bank hit/miss counters from phase 1, the L2 stamp
+	// at the epoch's merge start, and per-pool-worker replay scratch.
+	bankBase   []int
+	bankHits   []uint64
+	bankMisses []uint64
+	stamp0     uint64
+	wscratch   []mergeScratch
+	// lt is the coordinator's tournament tree (serial merge + miss fold).
+	lt loserTree
+
+	// Pool-epoch state: the persistent worker pool and the phase closures
+	// (bound once, reading their per-epoch parameters from the fields
+	// below so no allocation happens per epoch).
+	pool      *parallel.Pool
+	spec      *kernelgen.Spec
+	epochEnd  float64
+	dramSeed  float64
+	fnShard   func(worker, sm int)
+	fnBank    func(worker, b int)
+	fnCorrect func(worker, sm int)
+
+	// testMerge, when non-nil, replaces mergeEpoch — the hook the
+	// preserved-reference oracle test uses to swap in the old linear-scan
+	// merge. Always nil in production.
+	testMerge func(k *parConsts, dramFree float64) float64
+
+	// Per-kernel barrier accounting, folded into the Simulator's
+	// BarrierCollector (when set) at kernel end. The nanosecond fields are
+	// only advanced when collect is true — no time.Now on untimed runs.
+	collect      bool
+	epochs       int64
+	replayed     int64
+	misses       int64
+	bankedEpochs int64
+	computeNS    int64
+	mergeNS      int64
 }
 
 // parConsts are the per-kernel constants of the engine, hoisted exactly as
@@ -190,9 +249,21 @@ type parConsts struct {
 // Like RunKernel, RunKernelPar is NOT safe for concurrent use on one
 // Simulator — it owns the shared L2 and the scratch arena. The worker
 // goroutines it spawns internally are labeled with runtime/pprof labels
-// (phase=sm-shard vs phase=l2-merge) so CPU profiles attribute time to
-// shard execution vs. barrier merge.
+// (phase=worker vs phase=coordinator) so CPU profiles attribute time to
+// pool execution vs. the coordinator's serial barrier slices.
 func (s *Simulator) RunKernelPar(spec *kernelgen.Spec, workers int, epoch float64) KernelResult {
+	return s.RunKernelParMerge(spec, workers, 0, epoch)
+}
+
+// RunKernelParMerge is RunKernelPar with the barrier merge's worker count
+// controlled separately: mergeWorkers <= 0 defaults to the shard worker
+// count (one pool serves both), and any other value is normalized by the
+// same parallel.Workers policy. The merge worker count — like the shard
+// worker count — is pure scheduling: results are bit-identical for every
+// (workers x mergeWorkers) pair at a fixed epoch (the merge phases are
+// data-partitioned by L2 bank and by SM; see merge.go), which is why
+// neither count participates in engine cache keys.
+func (s *Simulator) RunKernelParMerge(spec *kernelgen.Spec, workers, mergeWorkers int, epoch float64) KernelResult {
 	if !(epoch > 0) || math.IsInf(epoch, 1) {
 		return s.RunKernel(spec)
 	}
@@ -265,19 +336,32 @@ func (s *Simulator) RunKernelPar(spec *kernelgen.Spec, workers int, epoch float6
 	if nw > cfg.SMs {
 		nw = cfg.SMs
 	}
+	mw := mergeWorkers
+	if mw <= 0 {
+		mw = nw
+	} else {
+		mw = parallel.Workers(mw)
+	}
+	s.parSetupMerge(nw, mw)
+	collect := s.par.collect
 
-	if nw <= 1 {
+	if nw <= 1 && mw <= 1 {
 		// Serial path: same algorithm, no goroutines (and no allocations —
 		// steady-state j1 calls run entirely in the arena, pinned by
 		// TestRunKernelParSerialSteadyStateAllocs). Bit-identical to the
 		// parallel path by the determinism argument above.
 		var dramFree float64
+		var tPhase time.Time
 		for {
 			epochEnd, alive := s.parNextEpoch(epoch, k)
 			if !alive {
 				break
 			}
 			s.par.epoch++
+			s.par.epochs++
+			if collect {
+				tPhase = time.Now()
+			}
 			for sm := range shards {
 				sh := &shards[sm]
 				if !sh.done {
@@ -286,10 +370,18 @@ func (s *Simulator) RunKernelPar(spec *kernelgen.Spec, workers int, epoch float6
 					s.runShardEpoch(spec, sm, epochEnd, k)
 				}
 			}
-			dramFree = s.mergeEpoch(k, dramFree)
+			if collect {
+				now := time.Now()
+				s.par.computeNS += int64(now.Sub(tPhase))
+				tPhase = now
+			}
+			dramFree = s.runMerge(k, dramFree)
+			if collect {
+				s.par.mergeNS += int64(time.Since(tPhase))
+			}
 		}
 	} else {
-		s.parRunEpochs(spec, k, nw, epoch)
+		s.parRunEpochs(spec, k, nw, mw, epoch)
 	}
 
 	// Fold per-SM accumulators in SM order (sums and a max — both
@@ -310,64 +402,111 @@ func (s *Simulator) RunKernelPar(spec *kernelgen.Spec, workers int, epoch float6
 	if tot := l1Hits + l1Misses; tot > 0 {
 		res.L1HitRate = float64(l1Hits) / float64(tot)
 	}
+	if c := s.barrier; c != nil {
+		c.AddKernel(metrics.BarrierSample{
+			Epochs:    s.par.epochs,
+			ComputeNS: s.par.computeNS,
+			MergeNS:   s.par.mergeNS,
+			Replayed:  s.par.replayed,
+			Misses:    s.par.misses,
+		})
+	}
 	return res
 }
 
-// parRunEpochs is the multi-worker epoch loop: persistent worker goroutines,
-// one per contiguous SM range, driven through an epoch barrier — the
-// coordinator broadcasts the epoch end, workers advance their SMs, and the
-// coordinator merges the buffered shared-L2 accesses before the next round.
-// pprof labels attribute profile samples to shard execution (workers,
-// phase=sm-shard) vs. the barrier merge (coordinator, phase=l2-merge). It
-// lives in its own function so its closures can't force the serial path's
-// locals to the heap.
-func (s *Simulator) parRunEpochs(spec *kernelgen.Spec, k *parConsts, nw int, epoch float64) {
-	shards := s.par.shards
-	sms := s.cfg.SMs
-	start := make([]chan float64, nw)
-	done := make(chan struct{}, nw)
-	for w := 0; w < nw; w++ {
-		start[w] = make(chan float64, 1)
-		go func(w int) {
-			pprof.Do(context.Background(), pprof.Labels("gpu-engine", "par", "phase", "sm-shard"), func(context.Context) {
-				lo, hi := w*sms/nw, (w+1)*sms/nw
-				for epochEnd := range start[w] {
-					for sm := lo; sm < hi; sm++ {
-						if !shards[sm].done {
-							s.runShardEpoch(spec, sm, epochEnd, k)
-						}
-					}
-					done <- struct{}{}
-				}
-			})
-		}(w)
+// runMerge dispatches the barrier merge, honoring the oracle test hook.
+func (s *Simulator) runMerge(k *parConsts, dramFree float64) float64 {
+	if tm := s.par.testMerge; tm != nil {
+		return tm(k, dramFree)
 	}
-	pprof.Do(context.Background(), pprof.Labels("gpu-engine", "par", "phase", "l2-merge"), func(context.Context) {
+	return s.mergeEpoch(k, dramFree)
+}
+
+// parRunEpochs is the multi-worker epoch loop, rebuilt on a persistent
+// barrier-synchronized pool (parallel.Pool) that serves both the shard
+// phase and the merge phases: the coordinator publishes the epoch's
+// parameters in the arena, dispatches the shard phase over -jkernel
+// workers, then runs the barrier merge — whose banked phases dispatch over
+// -jmerge workers of the same pool (merge.go). The pool's calling-goroutine-
+// as-worker-0 design means the coordinator is never idle during a phase,
+// and its channel-barrier rounds replace the per-worker goroutine spawns a
+// ForEachStealing-per-epoch design would pay thousands of times per kernel.
+// The phase closures are bound once per arena and read their per-epoch
+// parameters (epoch end, DRAM-queue seed, spec) from parEngine fields, so
+// the loop allocates nothing per epoch. pprof labels attribute samples to
+// pool workers (phase=worker) vs. the coordinator (phase=coordinator),
+// whose serial slices are the merge's Amdahl share — the -barrierstats
+// report measures the same split with timestamps.
+func (s *Simulator) parRunEpochs(spec *kernelgen.Spec, k *parConsts, nw, mw int, epoch float64) {
+	p := s.par
+	poolW := nw
+	if mw > poolW {
+		poolW = mw
+	}
+	pool := parallel.NewPool(poolW, func(_ int, loop func()) {
+		pprof.Do(context.Background(), pprof.Labels("gpu-engine", "par", "phase", "worker"), func(context.Context) { loop() })
+	})
+	defer pool.Close()
+	p.pool = pool
+	p.spec = spec
+	s.parBindPhases()
+	collect := p.collect
+	sms := s.cfg.SMs
+	pprof.Do(context.Background(), pprof.Labels("gpu-engine", "par", "phase", "coordinator"), func(context.Context) {
 		var dramFree float64
+		var tPhase time.Time
 		for {
 			epochEnd, alive := s.parNextEpoch(epoch, k)
 			if !alive {
 				break
 			}
-			s.par.epoch++
-			for sm := range shards {
-				shards[sm].dramFree = dramFree
-				if !shards[sm].done {
-					s.par.shadow[sm].release = append(s.par.shadow[sm].release[:0], s.mshrs[sm].release...)
-				}
+			p.epoch++
+			p.epochs++
+			p.epochEnd = epochEnd
+			p.dramSeed = dramFree
+			if collect {
+				tPhase = time.Now()
 			}
-			for w := 0; w < nw; w++ {
-				start[w] <- epochEnd
+			pool.RunLimited(sms, nw, p.fnShard)
+			if collect {
+				now := time.Now()
+				p.computeNS += int64(now.Sub(tPhase))
+				tPhase = now
 			}
-			for w := 0; w < nw; w++ {
-				<-done
+			dramFree = s.runMerge(k, dramFree)
+			if collect {
+				p.mergeNS += int64(time.Since(tPhase))
 			}
-			dramFree = s.mergeEpoch(k, dramFree)
 		}
 	})
-	for w := 0; w < nw; w++ {
-		close(start[w])
+	p.pool = nil
+	p.spec = nil
+}
+
+// parBindPhases binds the pool-phase closures into the arena (once per
+// arena lifetime — they capture only the Simulator and read everything
+// per-epoch from parEngine fields, which the pool's channel barriers order
+// against worker reads).
+func (s *Simulator) parBindPhases() {
+	if s.par.fnShard != nil {
+		return
 	}
+	p := s.par
+	p.fnShard = func(_, sm int) {
+		sh := &p.shards[sm]
+		if !sh.done {
+			sh.dramFree = p.dramSeed
+			p.shadow[sm].release = append(p.shadow[sm].release[:0], s.mshrs[sm].release...)
+			s.runShardEpoch(p.spec, sm, p.epochEnd, &p.k)
+		}
+		// Bucketing by bank rides on the shard's owning worker so the
+		// serial slice of the barrier never sees it.
+		if p.wantBanked && len(sh.acc) > 0 {
+			s.bucketShard(sm)
+		}
+	}
+	p.fnBank = func(worker, b int) { s.replayBank(worker, b) }
+	p.fnCorrect = func(_, sm int) { s.correctShard(sm) }
 }
 
 // parConstsFor hoists the per-kernel engine constants into k, mirroring
@@ -569,107 +708,4 @@ func (s *Simulator) runShardEpoch(spec *kernelgen.Spec, sm int, epochEnd float64
 		}
 	}
 	s.issueClock[sm] = ic
-}
-
-// mergeEpoch applies the epoch's buffered shared-L2 accesses to the one
-// shared L2 in (timestamp, SM-id) order — a k-way merge over the per-SM
-// buffers, which are each already in program (nondecreasing-time) order;
-// ties across SMs resolve to the lower SM id by the strict `<` in the scan.
-// Replay misses advance the global DRAM bandwidth queue with exactly the
-// serial engine's queueing rule, and the returned queue value seeds every
-// shard's in-epoch estimate for the next epoch.
-//
-// The replay is also the engine's error-correction point: it knows each
-// access's TRUE fill latency — real shared L2 outcome, real global queue —
-// where the shard could only predict against its frozen snapshot. The
-// dominant prediction error is duplicate DRAM pricing of cross-SM shared
-// lines (every shard sees a snapshot miss for a line only one SM actually
-// fetches; the exact engine gives the rest L2 hits), which grows with the
-// epoch length. For every access the replay accumulates the depFrac-weighted
-// fill difference onto the issuing warp's slot, and at the end of the merge
-// each live warp's scheduled time (heap entry or held entry) shifts by its
-// summed correction — a warp's in-epoch accesses are serialized through its
-// own ready chain, so the sum is the first-order effect of the repriced
-// fills on its clock. Corrected keys are clamped at zero (keeps the heap in
-// pushPop's non-negative key domain) and the heap order is restored by a
-// deterministic rebuild, so the correction — computed and applied entirely
-// on the coordinator — preserves bit-identical results for every worker
-// count. Warps that retired inside the epoch keep their uncorrected finish
-// times (their slot may already host a successor warp, which then absorbs
-// the correction — the successor started when the retiree finished, so
-// shifting it is the right first-order model of the shared SM timeline).
-func (s *Simulator) mergeEpoch(k *parConsts, dramFree float64) float64 {
-	shards := s.par.shards
-	heads := s.par.heads
-	for {
-		best := -1
-		var bt float64
-		for sm := range shards {
-			i := heads[sm]
-			if i >= len(shards[sm].acc) {
-				continue
-			}
-			if t := shards[sm].acc[i].t; best < 0 || t < bt {
-				best, bt = sm, t
-			}
-		}
-		if best < 0 {
-			break
-		}
-		a := shards[best].acc[heads[best]]
-		heads[best]++
-		trueFill := k.l2Fill
-		if !s.l2.Access(a.addr) {
-			queue := dramFree - a.t
-			if queue < 0 {
-				queue = 0
-			}
-			if dramFree < a.t {
-				dramFree = a.t
-			}
-			dramFree += k.dramService
-			trueFill = k.dramLat + queue
-		}
-		trueIssue := s.par.shadow[best].acquire(a.t, trueFill, k.mshrCap)
-		trueLat := (trueIssue - a.t) + trueFill
-		shards[best].corr[a.slot] += k.depFrac * (trueLat - a.lat)
-	}
-	for sm := range shards {
-		sh := &shards[sm]
-		if len(sh.acc) > 0 {
-			// The shadow MSHR file saw the same acquire sequence with true
-			// fills; it, not the distorted in-epoch state, is the MSHR state
-			// the next epoch should start from.
-			s.mshrs[sm].release, s.par.shadow[sm].release =
-				s.par.shadow[sm].release, s.mshrs[sm].release
-			if sh.hasHeld {
-				if c := sh.corr[sh.held.slot]; c != 0 {
-					if sh.held.ready += c; sh.held.ready < 0 {
-						sh.held.ready = 0
-					}
-				}
-			}
-			h := &sh.heap
-			changed := false
-			for i := 0; i < h.n; i++ {
-				if c := sh.corr[h.slots[i]]; c != 0 {
-					r := h.keys[i] + c
-					if r < 0 {
-						r = 0
-					}
-					h.keys[i] = r
-					changed = true
-				}
-			}
-			if changed {
-				h.reheapify()
-			}
-			for i := range sh.corr {
-				sh.corr[i] = 0
-			}
-		}
-		sh.acc = sh.acc[:0]
-		heads[sm] = 0
-	}
-	return dramFree
 }

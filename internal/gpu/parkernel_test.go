@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"testing"
+
+	"stemroot/internal/metrics"
 )
 
 // TestRunKernelParDegenerateEpochMatchesRunKernel pins the degenerate-case
@@ -135,6 +137,15 @@ func BenchmarkRunKernelPar(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sim.RunKernelPar(spec, j, DefaultEpoch)
 			}
+			b.StopTimer()
+			// Barrier-share column, measured on one instrumented run outside
+			// the timed region (collection adds two time.Now calls per epoch
+			// — noise the timed loop must not carry).
+			var bc metrics.BarrierCollector
+			sim.SetBarrierCollector(&bc)
+			sim.RunKernelPar(spec, j, DefaultEpoch)
+			sim.SetBarrierCollector(nil)
+			b.ReportMetric(bc.Snapshot().MergeSharePct(), "merge-share-%")
 		})
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"stemroot/internal/kernelgen"
+	"stemroot/internal/metrics"
 	"stemroot/internal/parallel"
 )
 
@@ -53,7 +54,19 @@ type Simulator struct {
 	// cursors), allocated lazily on the first RunKernelPar call and fully
 	// re-initialized at the start of every parallel kernel — see parkernel.go.
 	par *parEngine
+
+	// barrier, when non-nil, receives one epoch-barrier accounting sample
+	// per RunKernelPar kernel (epoch count, compute/merge wall-clock split,
+	// replayed-access and miss counts). Pure observability: it changes no
+	// simulation result and is excluded from all cache keys. Nil disables
+	// collection, including the per-phase timestamps.
+	barrier *metrics.BarrierCollector
 }
+
+// SetBarrierCollector installs (or, with nil, removes) the epoch-barrier
+// accounting sink. Call between kernels, from the goroutine that owns the
+// Simulator.
+func (s *Simulator) SetBarrierCollector(c *metrics.BarrierCollector) { s.barrier = c }
 
 // New validates the configuration and returns a simulator with cold caches.
 func New(cfg Config) (*Simulator, error) {

@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolStealingCoverage pins the Pool's round contract under -race:
+// every index in [0, n) runs exactly once per round, across many
+// back-to-back rounds on one pool (the reuse pattern the epoch loop
+// depends on), for assorted pool sizes and unit counts.
+func TestPoolStealingCoverage(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := NewPool(workers, nil)
+		for _, n := range []int{0, 1, 2, 7, 16, 257} {
+			for round := 0; round < 50; round++ {
+				counts := make([]atomic.Int32, n)
+				p.Run(n, func(_, i int) {
+					counts[i].Add(1)
+				})
+				for i := range counts {
+					if got := counts[i].Load(); got != 1 {
+						t.Fatalf("workers=%d n=%d round=%d: index %d ran %d times", workers, n, round, i, got)
+					}
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestPoolRunLimited pins RunLimited's two properties: full coverage, and
+// no participation by workers at or beyond the limit — worker indices seen
+// by fn must all be < limit, so per-worker scratch sized by the limit is
+// safe.
+func TestPoolRunLimited(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewPool(8, nil)
+	defer p.Close()
+	for _, limit := range []int{1, 2, 3, 8, 16} {
+		const n = 64
+		counts := make([]atomic.Int32, n)
+		var badWorker atomic.Int32
+		badWorker.Store(-1)
+		p.RunLimited(n, limit, func(worker, i int) {
+			eff := limit
+			if eff > p.Workers() {
+				eff = p.Workers()
+			}
+			if worker >= eff {
+				badWorker.Store(int32(worker))
+			}
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("limit=%d: index %d ran %d times", limit, i, got)
+			}
+		}
+		if w := badWorker.Load(); w >= 0 {
+			t.Fatalf("limit=%d: worker %d participated beyond limit", limit, w)
+		}
+	}
+}
+
+// TestPoolWorkerOwnership pins the ForEachWorker-style ownership contract:
+// within a round, each worker index is used by exactly one goroutine, so
+// worker-indexed scratch needs no synchronization. Detected by racing
+// unsynchronized per-worker counters under -race.
+func TestPoolWorkerOwnership(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	p := NewPool(4, nil)
+	defer p.Close()
+	scratch := make([]int, 4) // unsynchronized on purpose; -race is the assert
+	for round := 0; round < 20; round++ {
+		p.Run(128, func(worker, _ int) {
+			scratch[worker]++
+		})
+	}
+	total := 0
+	for _, c := range scratch {
+		total += c
+	}
+	if total != 20*128 {
+		t.Fatalf("scratch total = %d, want %d", total, 20*128)
+	}
+}
+
+// TestPoolWrap verifies the wrap hook runs each spawned worker's loop on a
+// goroutine the caller controls (the pprof-label attachment point).
+func TestPoolWrap(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	var wrapped atomic.Int32
+	p := NewPool(4, func(worker int, loop func()) {
+		if worker < 1 || worker > 3 {
+			t.Errorf("wrap called with worker %d", worker)
+		}
+		wrapped.Add(1)
+		loop()
+	})
+	defer p.Close()
+	var ran atomic.Int32
+	p.Run(64, func(_, _ int) { ran.Add(1) })
+	if got := ran.Load(); got != 64 {
+		t.Fatalf("ran %d units, want 64", got)
+	}
+	if got := wrapped.Load(); got != 3 {
+		t.Fatalf("wrap invoked for %d workers, want 3", got)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"stemroot/internal/gpu"
 	"stemroot/internal/hwmodel"
 	"stemroot/internal/kernelgen"
+	"stemroot/internal/metrics"
 	"stemroot/internal/sampling"
 	"stemroot/internal/trace"
 )
@@ -70,15 +71,28 @@ type Options struct {
 	// KernelWorkers is the intra-kernel worker count for the par engine
 	// (gpu.RunKernelPar); <= 0 selects one per CPU. Ignored in exact mode.
 	KernelWorkers int
+	// MergeWorkers is the par engine's epoch-barrier merge worker count
+	// (banked L2 replay); <= 0 follows KernelWorkers — one pool serves
+	// shard execution and the merge. Ignored in exact mode; like
+	// KernelWorkers, it can never change results and is excluded from
+	// segment cache keys.
+	MergeWorkers int
 	// Epoch is the par engine's epoch length in simulated cycles; <= 0
 	// selects gpu.DefaultEpoch. Ignored in exact mode.
 	Epoch float64
+	// BarrierStats, when non-nil, accumulates per-kernel epoch-barrier
+	// accounting (compute vs merge time, replayed accesses, misses) from
+	// par-mode runs. Observability only — no effect on results or keys.
+	BarrierStats *metrics.BarrierCollector
 }
 
 // engine maps the Options fields to the gpu.Engine value handed to
 // gpu.RunSegmentedEngine. Validation happens there (unknown modes error).
 func (o Options) engine() gpu.Engine {
-	return gpu.Engine{Mode: o.Engine, Workers: o.KernelWorkers, Epoch: o.Epoch}
+	return gpu.Engine{
+		Mode: o.Engine, Workers: o.KernelWorkers, MergeWorkers: o.MergeWorkers,
+		Epoch: o.Epoch, Barrier: o.BarrierStats,
+	}
 }
 
 // specsOf returns a spec generator for a workload subset: position i maps
